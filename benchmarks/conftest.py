@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has one benchmark module that regenerates it via
+the corresponding experiment driver and reports the headline quantities.
+Expensive drivers run a single round (`benchmark.pedantic(rounds=1)`) — the
+point is regenerating the result, not micro-timing it — while the
+micro-benchmarks (conv, tuner, Fisher) use normal repetition.
+
+The benchmark scale is intentionally smaller than the paper's settings so
+the whole harness completes in minutes on the NumPy substrate; the shapes
+of the conclusions are what is being checked (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import PipelineScale
+from repro.experiments.common import ExperimentScale
+
+
+def bench_scale() -> ExperimentScale:
+    """The scale used by the benchmark harness (between test and CI scales)."""
+    pipeline = PipelineScale(width_multiplier=0.25, image_size=16, fisher_batch=4,
+                             configurations=60, tuner_trials=4, train_size=64, test_size=32)
+    return ExperimentScale(name="ci", pipeline=pipeline, cell_samples=6, cell_epochs=1,
+                           proxy_epochs=1, proxy_batch=16, fbnet_epochs=1,
+                           imagenet_image_size=16, imagenet_width=0.25,
+                           imagenet_depth=0.25, interpolation_steps=2)
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return bench_scale()

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the §7.2 analysis (accuracy / size / search time)."""
+
+from __future__ import annotations
+
+from repro.experiments import analysis_search
+
+
+def test_bench_analysis_search(benchmark, scale):
+    result = benchmark.pedantic(analysis_search.run, args=(scale,),
+                                kwargs={"seed": 0, "network": "ResNet-34"},
+                                rounds=1, iterations=1)
+    # Headline shape of §7.2: the search is fast (no training), rejects a
+    # substantial fraction of candidates, compresses the model and does not
+    # destroy proxy accuracy.
+    assert result.search_seconds < 300.0
+    assert result.rejection_rate > 0.0
+    assert result.compression_ratio >= 1.0
+    assert result.speedup >= 1.0
+    print()
+    print(analysis_search.format_report(result))

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 3 (Fisher Potential rejection filter)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig3_fisher_filter
+
+
+def test_bench_fig3_fisher_filter(benchmark, scale):
+    result = benchmark.pedantic(fig3_fisher_filter.run, args=(scale,), kwargs={"seed": 0},
+                                rounds=1, iterations=1)
+    assert len(result.evaluations) == scale.cell_samples
+    assert result.space_size == 15625
+    print()
+    print(fig3_fisher_filter.format_report(result))

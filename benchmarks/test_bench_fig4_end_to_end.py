@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 4 (TVM vs NAS vs Ours, 3 networks x 4 platforms)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4_end_to_end
+
+
+def test_bench_fig4_end_to_end(benchmark, scale):
+    result = benchmark.pedantic(fig4_end_to_end.run, args=(scale,), kwargs={"seed": 0},
+                                rounds=1, iterations=1)
+    assert len(result.panels) == 12
+    # Headline shape of Figure 4: the unified approach beats or matches the
+    # BlockSwap-then-compile baseline on the large majority of panels (the
+    # paper has panels where the two are close), and improves on TVM for
+    # every network on at least one platform.
+    wins = sum(panel.speedups()["Ours"] >= panel.speedups()["NAS"] * 0.999
+               for panel in result.panels.values())
+    assert wins >= 8, f"Ours >= NAS on only {wins}/12 panels"
+    for network in {"ResNet-34", "ResNeXt-29-2x64d", "DenseNet-161"}:
+        assert any(result.speedup(network, platform, "Ours") > 1.0
+                   for platform in ("cpu", "gpu", "mcpu", "mgpu"))
+    print()
+    print(fig4_end_to_end.format_report(result))

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 5 (frequency of operation application)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig5_sequence_frequency
+
+
+def test_bench_fig5_sequence_frequency(benchmark, scale):
+    result = benchmark.pedantic(fig5_sequence_frequency.run, args=(scale,),
+                                kwargs={"seed": 0}, rounds=1, iterations=1)
+    assert set(result.frequencies) == {"ResNet-34", "ResNeXt-29-2x64d", "DenseNet-161"}
+    # DenseNet has the most layers, ResNeXt the fewest (paper §7.3).
+    assert result.layer_counts["DenseNet-161"] > result.layer_counts["ResNeXt-29-2x64d"]
+    print()
+    print(fig5_sequence_frequency.format_report(result))

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 6 (layer-wise sequences, ResNet-34 on the i7)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig6_layerwise
+
+
+def test_bench_fig6_layerwise(benchmark, scale):
+    result = benchmark.pedantic(fig6_layerwise.run, args=(scale,), kwargs={"seed": 0},
+                                rounds=1, iterations=1)
+    assert result.rows
+    # Non-sensitive layers see roughly 2x from simple grouping (paper §7.4),
+    # while Fisher-sensitive layers are left untouched.
+    insensitive = [row for row in result.rows if not row.sensitive]
+    assert any(row.speedups["NAS (G=2)"] > 1.4 for row in insensitive)
+    for index in result.sensitive_layers():
+        assert result.best_speedup(index) == 1.0
+    print()
+    print(fig6_layerwise.format_report(result))

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 7 (comparison against FBNet on the i7)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig7_fbnet
+
+
+def test_bench_fig7_fbnet(benchmark, scale):
+    result = benchmark.pedantic(
+        fig7_fbnet.run, args=(scale,),
+        kwargs={"seed": 0, "networks": ("ResNet-34", "ResNeXt-29-2x64d")},
+        rounds=1, iterations=1)
+    assert result.rows
+    # Headline shape of Figure 7: FBNet needs supernet training to make its
+    # choices; the unified approach needs none and is never worse.
+    assert result.fbnet_needs_training()
+    assert result.ours_beats_fbnet()
+    print()
+    print(fig7_fbnet.format_report(result))

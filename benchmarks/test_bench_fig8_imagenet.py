@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 8 (ImageNet accuracy vs inference time)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8_imagenet
+
+
+def test_bench_fig8_imagenet(benchmark, scale):
+    result = benchmark.pedantic(
+        fig8_imagenet.run, args=(scale,),
+        kwargs={"seed": 0, "models": ("ResNet-18", "ResNet-34", "DenseNet-161")},
+        rounds=1, iterations=1)
+    assert result.points
+    # Headline shape of Figure 8: every optimised model is faster than its
+    # original at comparable proxy accuracy.
+    assert result.all_faster()
+    print()
+    print(fig8_imagenet.format_report(result))

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 9 (interpolating between NAS models)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig9_interpolation
+
+
+def test_bench_fig9_interpolation(benchmark, scale):
+    result = benchmark.pedantic(fig9_interpolation.run, args=(scale,), kwargs={"seed": 0},
+                                rounds=1, iterations=1)
+    labels = [point.label for point in result.points]
+    assert "NAS-A (G=2)" in labels and "NAS-B (G=4)" in labels
+    # Interpolated models sit between the endpoints in parameter count.
+    endpoints = [p.parameters for p in result.points if p.is_endpoint]
+    interpolated = [p for p in result.points if not p.is_endpoint]
+    assert interpolated
+    assert any(min(endpoints) <= p.parameters <= max(endpoints) for p in interpolated)
+    print()
+    print(fig9_interpolation.format_report(result))

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 1 (available transformation primitives)."""
+
+from __future__ import annotations
+
+from repro.experiments import table1_primitives
+
+
+def test_bench_table1_primitives(benchmark):
+    result = benchmark(table1_primitives.run)
+    assert result.all_applicable
+    assert len(result.rows) == 11
+    print()
+    print(table1_primitives.format_report(result))

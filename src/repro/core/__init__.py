@@ -1,0 +1,51 @@
+"""The paper's contribution: NAS as program transformation exploration."""
+
+from repro.core.sequences import (
+    SEQUENCE_KINDS,
+    SequenceSpec,
+    nas_candidate_sequences,
+    paper_sequences,
+    random_sequence,
+)
+from repro.core.unified_space import (
+    TABLE1_PRIMITIVES,
+    UnifiedSpace,
+    UnifiedSpaceConfig,
+    primitive_catalogue,
+)
+from repro.core.workloads import (
+    LayerWorkload,
+    extract_workloads,
+    total_macs,
+    unique_shapes,
+)
+from repro.core.search import (
+    LayerChoice,
+    SearchStatistics,
+    UnifiedSearch,
+    UnifiedSearchResult,
+)
+from repro.core.pipeline import (
+    ApproachMeasurement,
+    ComparisonResult,
+    PipelineScale,
+    compare_approaches,
+    network_latency,
+    workload_latency,
+)
+from repro.core.interpolation import (
+    InterpolationPoint,
+    InterpolationResult,
+    interpolate_between_groupings,
+)
+
+__all__ = [
+    "SEQUENCE_KINDS", "SequenceSpec", "nas_candidate_sequences", "paper_sequences",
+    "random_sequence",
+    "TABLE1_PRIMITIVES", "UnifiedSpace", "UnifiedSpaceConfig", "primitive_catalogue",
+    "LayerWorkload", "extract_workloads", "total_macs", "unique_shapes",
+    "LayerChoice", "SearchStatistics", "UnifiedSearch", "UnifiedSearchResult",
+    "ApproachMeasurement", "ComparisonResult", "PipelineScale", "compare_approaches",
+    "network_latency", "workload_latency",
+    "InterpolationPoint", "InterpolationResult", "interpolate_between_groupings",
+]

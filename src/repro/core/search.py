@@ -1,0 +1,407 @@
+"""The unified NAS-as-program-transformation search (§6 "Search").
+
+The search follows the paper's procedure:
+
+1. profile the original network's Fisher Potential on one random minibatch;
+2. enumerate random configurations — an assignment of a transformation
+   sequence to every convolution layer — from the unified space;
+3. reject configurations whose Fisher Potential falls below the original's
+   (neural legality) — program-only sequences are always legal;
+4. auto-tune the surviving operators' schedules on the target platform and
+   keep the configuration with the lowest estimated latency.
+
+Per-layer Fisher scores and per-(shape, sequence) tuned latencies are
+cached so that evaluating many configurations is cheap, mirroring the
+paper's observation that 1000 configurations take under five minutes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.sequences import SequenceSpec
+from repro.core.unified_space import UnifiedSpace, UnifiedSpaceConfig
+from repro.core.workloads import LayerWorkload, extract_workloads
+from repro.errors import ModelError, SearchError, TransformError
+from repro.fisher import FisherLegalityChecker, candidate_layer_fisher, fisher_profile
+from repro.hardware.platform import PlatformSpec
+from repro.nn.convs import DerivedConv2d
+from repro.nn.module import Module
+from repro.poly.statement import ConvolutionShape
+from repro.tenir.autotune import AutoTuner
+from repro.utils import make_rng
+
+
+@dataclass
+class LayerChoice:
+    """The sequence chosen for one layer, with its scores."""
+
+    layer: str
+    sequence: SequenceSpec
+    latency_seconds: float
+    baseline_latency_seconds: float
+    fisher_score: float
+    baseline_fisher_score: float
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_latency_seconds / max(self.latency_seconds, 1e-12)
+
+
+@dataclass
+class SearchStatistics:
+    """Bookkeeping for §7.2 (search time, rejection rate)."""
+
+    configurations_evaluated: int = 0
+    configurations_rejected: int = 0
+    search_seconds: float = 0.0
+    unique_workloads: int = 0
+    candidate_sequences: int = 0
+
+    @property
+    def rejection_rate(self) -> float:
+        if not self.configurations_evaluated:
+            return 0.0
+        return self.configurations_rejected / self.configurations_evaluated
+
+
+@dataclass
+class _SearchContext:
+    """Shared state handed to the search-strategy implementations."""
+
+    workloads: list[LayerWorkload]
+    shapes: dict[str, ConvolutionShape]
+    candidates: dict[str, list[SequenceSpec]]
+    profile: object
+    checker: FisherLegalityChecker
+    latency_cache: dict
+    fisher_cache: dict
+    baseline_latency: dict[str, float]
+    standard: SequenceSpec
+    rng: np.random.Generator
+    statistics: "SearchStatistics"
+
+
+@dataclass
+class UnifiedSearchResult:
+    """Outcome of the unified search on one network / platform pair."""
+
+    platform: str
+    baseline_latency_seconds: float
+    optimized_latency_seconds: float
+    choices: dict[str, LayerChoice] = field(default_factory=dict)
+    statistics: SearchStatistics = field(default_factory=SearchStatistics)
+    fisher_original: float = 0.0
+    fisher_optimized: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_latency_seconds / max(self.optimized_latency_seconds, 1e-12)
+
+    def sequence_frequency(self) -> Counter:
+        """How often each sequence kind was chosen (Figure 5)."""
+        counts: Counter = Counter()
+        for choice in self.choices.values():
+            if choice.sequence.is_neural:
+                counts[choice.sequence.kind] += 1
+        return counts
+
+    def assignment(self) -> dict[str, SequenceSpec]:
+        return {name: choice.sequence for name, choice in self.choices.items()}
+
+
+#: Search strategies: the paper's random enumeration, a latency-greedy
+#: variant, and a small evolutionary search (the latter two are used by the
+#: search-strategy ablation benchmark).
+SEARCH_STRATEGIES = ("greedy", "random", "evolutionary")
+
+
+class UnifiedSearch:
+    """Joint search over neural and program transformations."""
+
+    def __init__(self, platform: PlatformSpec, *, configurations: int = 100,
+                 tuner_trials: int = 8, fisher_threshold: float = 1.0,
+                 strategy: str = "greedy",
+                 space: UnifiedSpaceConfig | None = None, seed: int | None = None):
+        if configurations < 1:
+            raise SearchError("the search needs at least one configuration")
+        if strategy not in SEARCH_STRATEGIES:
+            raise SearchError(
+                f"unknown strategy '{strategy}'; expected one of {SEARCH_STRATEGIES}")
+        self.platform = platform
+        self.configurations = configurations
+        self.tuner_trials = tuner_trials
+        self.fisher_threshold = fisher_threshold
+        self.strategy = strategy
+        self.space = UnifiedSpace(space or UnifiedSpaceConfig())
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Per-layer caches
+    # ------------------------------------------------------------------
+    def _tuned_latency(self, shape: ConvolutionShape, sequence: SequenceSpec,
+                       cache: dict) -> float:
+        key = (shape, sequence)
+        if key not in cache:
+            tuner = AutoTuner(trials=self.tuner_trials, seed=0)
+            total = 0.0
+            for computation in sequence.build_computations(shape):
+                total += tuner.tune(computation, self.platform).seconds
+            cache[key] = total
+        return cache[key]
+
+    def _candidate_fisher(self, workload: LayerWorkload, sequence: SequenceSpec,
+                          record, cache: dict) -> float:
+        key = (workload.name, sequence)
+        if key not in cache:
+            if not sequence.is_neural:
+                cache[key] = record.score
+            else:
+                config = sequence.conv_config(workload.shape)
+                try:
+                    candidate = DerivedConv2d(
+                        record.in_channels, record.out_channels, record.kernel_size,
+                        stride=record.stride, padding=record.padding, config=config,
+                        rng=make_rng(0))
+                    cache[key] = candidate_layer_fisher(record, candidate)
+                except (ModelError, TransformError):
+                    cache[key] = -np.inf
+        return cache[key]
+
+    # ------------------------------------------------------------------
+    def search(self, model: Module, images: np.ndarray, labels: np.ndarray,
+               input_shape: tuple[int, int, int]) -> UnifiedSearchResult:
+        """Run the unified search for ``model`` on this search's platform."""
+        start = time.perf_counter()
+        rng = make_rng(self.seed)
+
+        profile = fisher_profile(model, images, labels)
+        checker = FisherLegalityChecker(profile, threshold=self.fisher_threshold)
+        workloads = [w for w in extract_workloads(model, input_shape)
+                     if w.name in profile.layers]
+        if not workloads:
+            raise SearchError("the model exposes no convolution layers to optimise")
+
+        per_layer_candidates: dict[str, list[SequenceSpec]] = {}
+        shapes: dict[str, ConvolutionShape] = {}
+        for workload in workloads:
+            per_layer_candidates[workload.name] = self.space.candidate_sequences(workload.shape)
+            shapes[workload.name] = workload.shape
+
+        latency_cache: dict = {}
+        fisher_cache: dict = {}
+        standard = SequenceSpec(kind="standard")
+        baseline_latency = {
+            w.name: self._tuned_latency(w.shape, standard, latency_cache) for w in workloads
+        }
+        total_baseline = sum(baseline_latency.values())
+
+        statistics = SearchStatistics(
+            unique_workloads=len({w.shape for w in workloads}),
+            candidate_sequences=sum(len(c) for c in per_layer_candidates.values()),
+        )
+        context = _SearchContext(
+            workloads=workloads, shapes=shapes, candidates=per_layer_candidates,
+            profile=profile, checker=checker, latency_cache=latency_cache,
+            fisher_cache=fisher_cache, baseline_latency=baseline_latency,
+            standard=standard, rng=rng, statistics=statistics,
+        )
+        if self.strategy == "greedy":
+            best_assignment, best_latency = self._search_greedy(context)
+        elif self.strategy == "random":
+            best_assignment, best_latency = self._search_random(context)
+        else:
+            best_assignment, best_latency = self._search_evolutionary(context)
+
+        if best_assignment is None:
+            # Every sampled configuration was rejected: fall back to the
+            # always-legal program-only configuration.
+            best_assignment = {w.name: standard for w in workloads}
+            best_latency = total_baseline
+
+        choices: dict[str, LayerChoice] = {}
+        optimized_fisher = profile.total
+        for workload in workloads:
+            sequence = best_assignment[workload.name]
+            layer_latency = self._tuned_latency(workload.shape, sequence, latency_cache)
+            fisher_score = self._candidate_fisher(workload, sequence,
+                                                  profile.layers[workload.name], fisher_cache)
+            optimized_fisher += fisher_score - profile.score_of(workload.name)
+            choices[workload.name] = LayerChoice(
+                layer=workload.name,
+                sequence=sequence,
+                latency_seconds=layer_latency,
+                baseline_latency_seconds=baseline_latency[workload.name],
+                fisher_score=fisher_score,
+                baseline_fisher_score=profile.score_of(workload.name),
+            )
+
+        statistics.search_seconds = time.perf_counter() - start
+        return UnifiedSearchResult(
+            platform=self.platform.name,
+            baseline_latency_seconds=total_baseline,
+            optimized_latency_seconds=best_latency,
+            choices=choices,
+            statistics=statistics,
+            fisher_original=profile.total,
+            fisher_optimized=optimized_fisher,
+        )
+
+    # ------------------------------------------------------------------
+    # Search strategies
+    # ------------------------------------------------------------------
+    def _layer_latency(self, context: "_SearchContext", layer: str,
+                       sequence: SequenceSpec) -> float:
+        return self._tuned_latency(context.shapes[layer], sequence, context.latency_cache)
+
+    def _layer_fisher(self, context: "_SearchContext", workload: LayerWorkload,
+                      sequence: SequenceSpec) -> float:
+        return self._candidate_fisher(workload, sequence,
+                                      context.profile.layers[workload.name],
+                                      context.fisher_cache)
+
+    def _assignment_latency(self, context: "_SearchContext",
+                            assignment: dict[str, SequenceSpec]) -> float:
+        return sum(self._layer_latency(context, w.name, assignment[w.name])
+                   for w in context.workloads)
+
+    def _assignment_legal(self, context: "_SearchContext",
+                          assignment: dict[str, SequenceSpec]) -> bool:
+        """Check a whole configuration's Fisher Potential, updating the stats."""
+        replacements: dict[str, float] = {}
+        for workload in context.workloads:
+            sequence = assignment[workload.name]
+            score = self._layer_fisher(context, workload, sequence)
+            if not np.isfinite(score):
+                context.statistics.configurations_evaluated += 1
+                context.statistics.configurations_rejected += 1
+                return False
+            if sequence.is_neural:
+                replacements[workload.name] = score
+        decision = context.checker.check_layer_scores(replacements)
+        context.statistics.configurations_evaluated += 1
+        if not decision.legal:
+            context.statistics.configurations_rejected += 1
+        return decision.legal
+
+    def _search_random(self, context: "_SearchContext"):
+        """The paper's procedure: random configurations, Fisher filter, best wins."""
+        best_assignment, best_latency = None, float("inf")
+        for _ in range(self.configurations):
+            assignment = self.space.sample_assignment(context.shapes, context.candidates,
+                                                      context.rng)
+            if not self._assignment_legal(context, assignment):
+                continue
+            latency = self._assignment_latency(context, assignment)
+            if latency < best_latency:
+                best_assignment, best_latency = assignment, latency
+        return best_assignment, best_latency
+
+    def _search_greedy(self, context: "_SearchContext"):
+        """Latency-greedy construction under the network Fisher constraint.
+
+        Layers are visited in order of their baseline cost; each layer takes
+        the fastest candidate that keeps the running network potential at or
+        above the threshold.  Candidates rejected along the way count
+        towards the rejection statistics (they are configurations the
+        search proposed and Fisher refused).
+        """
+        assignment = {w.name: context.standard for w in context.workloads}
+        replacements: dict[str, float] = {}
+        ordered = sorted(context.workloads,
+                         key=lambda w: context.baseline_latency[w.name], reverse=True)
+        for workload in ordered:
+            candidates = sorted(
+                context.candidates[workload.name],
+                key=lambda seq: self._layer_latency(context, workload.name, seq))
+            original_score = context.profile.score_of(workload.name)
+            for sequence in candidates:
+                if not sequence.is_neural:
+                    break  # reached the standard sequence: nothing faster is legal
+                score = self._layer_fisher(context, workload, sequence)
+                context.statistics.configurations_evaluated += 1
+                if not np.isfinite(score):
+                    context.statistics.configurations_rejected += 1
+                    continue
+                # The greedy construction strengthens the paper's rule: the
+                # substituted layer must itself retain its Fisher score and
+                # the running network total must stay above the threshold.
+                # Without the per-layer condition a few lucky high-scoring
+                # layers would buy slack for damaging substitutions later.
+                if score < self.fisher_threshold * original_score:
+                    context.statistics.configurations_rejected += 1
+                    continue
+                trial = dict(replacements)
+                trial[workload.name] = score
+                decision = context.checker.check_layer_scores(trial)
+                if decision.legal:
+                    assignment[workload.name] = sequence
+                    replacements[workload.name] = score
+                    break
+                context.statistics.configurations_rejected += 1
+        return assignment, self._assignment_latency(context, assignment)
+
+    def _search_evolutionary(self, context: "_SearchContext"):
+        """Small (mu + lambda) evolutionary search used by the ablation."""
+        population_size = max(4, min(12, self.configurations // 8))
+        generations = max(1, self.configurations // population_size - 1)
+        population: list[tuple[dict[str, SequenceSpec], float]] = []
+        while len(population) < population_size and context.statistics.configurations_evaluated < self.configurations:
+            assignment = self.space.sample_assignment(context.shapes, context.candidates,
+                                                      context.rng)
+            if self._assignment_legal(context, assignment):
+                population.append((assignment, self._assignment_latency(context, assignment)))
+        if not population:
+            return None, float("inf")
+        for _ in range(generations):
+            population.sort(key=lambda item: item[1])
+            parents = population[:max(2, population_size // 2)]
+            children = []
+            for parent_assignment, _ in parents:
+                child = dict(parent_assignment)
+                layer = context.workloads[int(context.rng.integers(0, len(context.workloads)))].name
+                options = context.candidates[layer]
+                child[layer] = options[int(context.rng.integers(0, len(options)))]
+                if self._assignment_legal(context, child):
+                    children.append((child, self._assignment_latency(context, child)))
+            population = (population + children)
+            population.sort(key=lambda item: item[1])
+            population = population[:population_size]
+        best_assignment, best_latency = min(population, key=lambda item: item[1])
+        return best_assignment, best_latency
+
+    # ------------------------------------------------------------------
+    def materialize(self, model: Module, result: UnifiedSearchResult,
+                    seed: int | None = None) -> Module:
+        """Substitute the chosen operators into the model (in place).
+
+        Only layers whose chosen sequence is neural are touched; layers
+        assigned the ``standard`` sequence keep their original convolution
+        (their improvement comes purely from scheduling).
+        """
+        from repro.nn.blocks import iter_replaceable_convs
+        from repro.nn.layers import Conv2d
+
+        rng = make_rng(seed)
+        replaceable = {name: (owner, conv) for name, owner, conv in
+                       iter_replaceable_convs(model) if isinstance(conv, Conv2d)}
+        for name, choice in result.choices.items():
+            if not choice.sequence.is_neural or name not in replaceable:
+                continue
+            owner, conv = replaceable[name]
+            config = choice.sequence.conv_config(
+                ConvolutionShape(conv.out_channels, conv.in_channels, 1, 1,
+                                 conv.kernel_size, conv.kernel_size))
+            try:
+                derived = DerivedConv2d(conv.in_channels, conv.out_channels,
+                                        conv.kernel_size, stride=conv.stride,
+                                        padding=conv.padding, config=config,
+                                        rng=make_rng(int(rng.integers(0, 2 ** 31))))
+            except ModelError:
+                continue
+            setattr(owner, name.split(".")[-1], derived)
+        return model

@@ -1,0 +1,117 @@
+"""The unified transformation space (§5): program + neural + GPU mapping.
+
+This module is the catalogue of Table 1 plus the candidate-generation
+policy of the unified search: for each convolution layer it proposes
+transformation sequences (named or random), each of which will be checked
+for legality (dependences for program transformations, Fisher Potential for
+neural ones) and auto-tuned on the target platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sequences import (
+    SEQUENCE_KINDS,
+    SequenceSpec,
+    nas_candidate_sequences,
+    paper_sequences,
+    random_sequence,
+)
+from repro.poly.statement import ConvolutionShape
+from repro.utils import make_rng
+
+#: Table 1 of the paper: every autotuning primitive by category.
+TABLE1_PRIMITIVES: dict[str, dict[str, str]] = {
+    "program": {
+        "reorder": "Interchange nested loops",
+        "tile": "Cache and register blocking",
+        "unroll": "Loop unrolling",
+        "prefetch": "Memory coalescing between threads",
+        "split": "Divide iteration into multiple axes",
+        "fuse": "Combine two axes into one",
+    },
+    "neural": {
+        "bottleneck": "Reduce domain by factor B",
+        "group": "Slice and offset two loops by factor G",
+    },
+    "gpu": {
+        "blockIdx": "Block-wise parallelism",
+        "threadIdx": "Threads within blocks",
+        "vthread": "Striding thread access",
+    },
+}
+
+
+def primitive_catalogue() -> list[tuple[str, str, str]]:
+    """Flat (category, primitive, description) rows of Table 1."""
+    rows = []
+    for category, primitives in TABLE1_PRIMITIVES.items():
+        for name, description in primitives.items():
+            rows.append((category, name, description))
+    return rows
+
+
+@dataclass(frozen=True)
+class UnifiedSpaceConfig:
+    """Candidate-generation policy for the unified search."""
+
+    #: probability of proposing a neural sequence (vs program-only) per layer
+    neural_probability: float = 0.75
+    #: include the three named §7.3 sequences among the candidates
+    include_paper_sequences: bool = True
+    #: include the classic NAS candidate operators expressed as sequences
+    include_nas_candidates: bool = True
+    #: number of additional random sequences proposed per layer
+    random_sequences_per_layer: int = 4
+    seed: int = 0
+
+
+class UnifiedSpace:
+    """Generates candidate transformation sequences for convolution layers."""
+
+    def __init__(self, config: UnifiedSpaceConfig | None = None):
+        self.config = config or UnifiedSpaceConfig()
+        self._rng = make_rng(self.config.seed)
+
+    def candidate_sequences(self, shape: ConvolutionShape) -> list[SequenceSpec]:
+        """All applicable candidate sequences for one convolution shape.
+
+        The ``standard`` sequence (program transformations only) is always
+        present, so every layer keeps a legal fall-back.
+        """
+        candidates: dict[str, SequenceSpec] = {"standard": SequenceSpec(kind="standard")}
+        if self.config.include_paper_sequences:
+            candidates.update(paper_sequences())
+        if self.config.include_nas_candidates:
+            candidates.update(nas_candidate_sequences())
+        for index in range(self.config.random_sequences_per_layer):
+            spec = random_sequence(self._rng)
+            candidates.setdefault(f"random_{index}_{spec.kind}", spec)
+        return [spec for spec in candidates.values() if spec.applicable(shape)]
+
+    def sample_assignment(self, shapes: dict[str, ConvolutionShape],
+                          per_layer_candidates: dict[str, list[SequenceSpec]],
+                          rng: np.random.Generator | None = None) -> dict[str, SequenceSpec]:
+        """Sample one configuration: a sequence choice per layer."""
+        rng = rng or self._rng
+        assignment: dict[str, SequenceSpec] = {}
+        for layer, candidates in per_layer_candidates.items():
+            neural = [c for c in candidates if c.is_neural]
+            standard = [c for c in candidates if not c.is_neural]
+            if neural and rng.random() < self.config.neural_probability:
+                assignment[layer] = neural[int(rng.integers(0, len(neural)))]
+            elif standard:
+                assignment[layer] = standard[int(rng.integers(0, len(standard)))]
+            else:
+                assignment[layer] = candidates[int(rng.integers(0, len(candidates)))]
+        return assignment
+
+    def space_cardinality(self, per_layer_candidates: dict[str, list[SequenceSpec]]) -> float:
+        """Number of distinct configurations the sampled candidates span."""
+        cardinality = 1.0
+        for candidates in per_layer_candidates.values():
+            cardinality *= max(len(candidates), 1)
+        return cardinality

@@ -1,0 +1,12 @@
+"""Synthetic datasets standing in for CIFAR-10 / ImageNet (see DESIGN.md)."""
+
+from repro.data.synthetic import DatasetSpec, SyntheticImageDataset
+from repro.data.loaders import DataLoader, test_loader, train_loader
+
+__all__ = [
+    "DatasetSpec",
+    "SyntheticImageDataset",
+    "DataLoader",
+    "test_loader",
+    "train_loader",
+]

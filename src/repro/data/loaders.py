@@ -1,0 +1,59 @@
+"""Minibatch iteration over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticImageDataset
+from repro.errors import DataError
+from repro.utils import make_rng
+
+
+class DataLoader:
+    """Iterates (images, labels) minibatches over in-memory arrays."""
+
+    def __init__(self, images: np.ndarray, labels: np.ndarray, batch_size: int = 32,
+                 shuffle: bool = True, seed: int | None = None, drop_last: bool = False):
+        if len(images) != len(labels):
+            raise DataError(
+                f"images ({len(images)}) and labels ({len(labels)}) differ in length"
+            )
+        if batch_size <= 0:
+            raise DataError("batch_size must be positive")
+        self.images = np.asarray(images)
+        self.labels = np.asarray(labels)
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = make_rng(seed)
+
+    def __len__(self) -> int:
+        full, remainder = divmod(len(self.labels), self.batch_size)
+        if remainder and not self.drop_last:
+            return full + 1
+        return full
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        order = np.arange(len(self.labels))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            index = order[start:start + self.batch_size]
+            if self.drop_last and len(index) < self.batch_size:
+                return
+            yield self.images[index], self.labels[index]
+
+
+def train_loader(dataset: SyntheticImageDataset, batch_size: int = 32,
+                 seed: int | None = None) -> DataLoader:
+    """Shuffled loader over the training split."""
+    return DataLoader(dataset.train_images, dataset.train_labels,
+                      batch_size=batch_size, shuffle=True, seed=seed)
+
+
+def test_loader(dataset: SyntheticImageDataset, batch_size: int = 64) -> DataLoader:
+    """Deterministic loader over the held-out split."""
+    return DataLoader(dataset.test_images, dataset.test_labels,
+                      batch_size=batch_size, shuffle=False)

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro library.
+
+Every subsystem raises errors derived from :class:`ReproError` so callers
+can distinguish library failures from programming errors in user code.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError):
+    """Raised when tensor shapes are incompatible for an operation."""
+
+
+class AutogradError(ReproError):
+    """Raised when the autograd tape is used incorrectly."""
+
+
+class TransformError(ReproError):
+    """Raised when a program transformation cannot be constructed."""
+
+
+class LegalityError(TransformError):
+    """Raised when a transformation is rejected by a legality check."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a schedule primitive is applied incorrectly."""
+
+
+class LoweringError(ReproError):
+    """Raised when a tensor expression cannot be lowered to loop IR."""
+
+
+class SearchError(ReproError):
+    """Raised when a search procedure is misconfigured."""
+
+
+class ModelError(ReproError):
+    """Raised when a neural-network model definition is invalid."""
+
+
+class DataError(ReproError):
+    """Raised when a dataset is misconfigured."""
+
+
+class PlatformError(ReproError):
+    """Raised when a hardware platform description is invalid."""

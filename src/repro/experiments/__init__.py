@@ -1,0 +1,38 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+==========================  =================================================
+Module                      Regenerates
+==========================  =================================================
+``table1_primitives``       Table 1 (available transformation primitives)
+``fig3_fisher_filter``      Figure 3 (Fisher Potential rejection filter)
+``fig4_end_to_end``         Figure 4 (TVM vs NAS vs Ours, 3 nets x 4 targets)
+``fig5_sequence_frequency`` Figure 5 (frequency of sequence application)
+``fig6_layerwise``          Figure 6 (layer-wise sequences, ResNet-34 on i7)
+``fig7_fbnet``              Figure 7 (comparison against FBNet)
+``fig8_imagenet``           Figure 8 (ImageNet accuracy vs inference time)
+``fig9_interpolation``      Figure 9 (interpolating between NAS models)
+``analysis_search``         §7.2 accuracy / size / search-time analysis
+==========================  =================================================
+
+Every driver exposes ``run(scale=...)`` returning a structured result and
+``format_report(result)`` rendering the same rows/series the paper reports.
+"""
+
+from repro.experiments import (  # noqa: F401
+    analysis_search,
+    fig3_fisher_filter,
+    fig4_end_to_end,
+    fig5_sequence_frequency,
+    fig6_layerwise,
+    fig7_fbnet,
+    fig8_imagenet,
+    fig9_interpolation,
+    table1_primitives,
+)
+from repro.experiments.common import ExperimentScale, get_scale
+
+__all__ = [
+    "analysis_search", "fig3_fisher_filter", "fig4_end_to_end",
+    "fig5_sequence_frequency", "fig6_layerwise", "fig7_fbnet", "fig8_imagenet",
+    "fig9_interpolation", "table1_primitives", "ExperimentScale", "get_scale",
+]

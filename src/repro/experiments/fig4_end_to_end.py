@@ -1,0 +1,65 @@
+"""Figure 4: end-to-end speedup of TVM vs NAS vs Ours.
+
+Three networks (ResNet-34, ResNeXt-29-2x64d, DenseNet-161), four platforms
+(CPU, GPU, mCPU, mGPU), CIFAR-10-shaped inputs.  Every panel reports the
+speedup of the three approaches relative to the TVM baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pipeline import ComparisonResult, compare_approaches
+from repro.experiments.common import (
+    CIFAR_NETWORKS,
+    FIGURE4_PLATFORMS,
+    ExperimentScale,
+    cifar_dataset,
+    cifar_model_builders,
+    format_table,
+    get_scale,
+)
+
+
+@dataclass
+class Fig4Result:
+    panels: dict[tuple[str, str], ComparisonResult] = field(default_factory=dict)
+
+    def speedup(self, network: str, platform: str, approach: str) -> float:
+        return self.panels[(network, platform)].speedups()[approach]
+
+    def rows(self) -> list[tuple[str, str, float, float, float]]:
+        rows = []
+        for (network, platform), panel in self.panels.items():
+            speedups = panel.speedups()
+            rows.append((network, platform, speedups["TVM"], speedups["NAS"], speedups["Ours"]))
+        return rows
+
+    def ours_beats_nas_everywhere(self) -> bool:
+        return all(panel.speedups()["Ours"] >= panel.speedups()["NAS"] * 0.999
+                   for panel in self.panels.values())
+
+
+def run(scale: str | ExperimentScale = "ci", seed: int = 0,
+        networks: tuple[str, ...] = CIFAR_NETWORKS,
+        platforms: tuple[str, ...] = FIGURE4_PLATFORMS) -> Fig4Result:
+    scale = get_scale(scale)
+    builders = cifar_model_builders(scale)
+    dataset = cifar_dataset(scale, seed=seed)
+    result = Fig4Result()
+    for network in networks:
+        for platform in platforms:
+            result.panels[(network, platform)] = compare_approaches(
+                network, builders[network], platform, scale=scale.pipeline,
+                dataset=dataset, seed=seed)
+    return result
+
+
+def format_report(result: Fig4Result) -> str:
+    table = format_table(["network", "platform", "TVM x", "NAS x", "Ours x"], result.rows())
+    summary = f"Ours >= NAS on every panel: {result.ours_beats_nas_everywhere()}"
+    return f"Figure 4: end-to-end speedup over the TVM baseline\n{table}\n{summary}"
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(format_report(run()))

@@ -1,0 +1,69 @@
+"""Figure 5: frequency of operation application.
+
+The paper counts how often the three §7.3 case-study sequences appear in
+the best-performing networks found by the unified search, per network:
+ResNeXt-29 has the fewest instances (fewest layers) and DenseNet-161 the
+most.  The driver runs the unified search on the three networks (on the
+Intel i7 platform, as in the case studies) and reports the counts of every
+chosen sequence kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.search import UnifiedSearch
+from repro.core.unified_space import UnifiedSpaceConfig
+from repro.experiments.common import (
+    CIFAR_NETWORKS,
+    ExperimentScale,
+    cifar_dataset,
+    cifar_model_builders,
+    format_table,
+    get_scale,
+)
+from repro.hardware import get_platform
+
+
+@dataclass
+class Fig5Result:
+    frequencies: dict[str, dict[str, int]] = field(default_factory=dict)
+    layer_counts: dict[str, int] = field(default_factory=dict)
+
+    def count(self, network: str, kind: str) -> int:
+        return self.frequencies.get(network, {}).get(kind, 0)
+
+    def total(self, network: str) -> int:
+        return sum(self.frequencies.get(network, {}).values())
+
+
+def run(scale: str | ExperimentScale = "ci", seed: int = 0,
+        networks: tuple[str, ...] = CIFAR_NETWORKS, platform: str = "cpu") -> Fig5Result:
+    scale = get_scale(scale)
+    builders = cifar_model_builders(scale)
+    dataset = cifar_dataset(scale, seed=seed)
+    images, labels = dataset.random_minibatch(scale.pipeline.fisher_batch, seed=seed)
+    result = Fig5Result()
+    for network in networks:
+        model = builders[network]()
+        search = UnifiedSearch(get_platform(platform),
+                               configurations=scale.pipeline.configurations,
+                               tuner_trials=scale.pipeline.tuner_trials,
+                               space=UnifiedSpaceConfig(seed=seed), seed=seed)
+        outcome = search.search(model, images, labels, dataset.spec.image_shape)
+        result.frequencies[network] = dict(outcome.sequence_frequency())
+        result.layer_counts[network] = len(outcome.choices)
+    return result
+
+
+def format_report(result: Fig5Result) -> str:
+    kinds = sorted({kind for counts in result.frequencies.values() for kind in counts})
+    rows = []
+    for network, counts in result.frequencies.items():
+        rows.append([network, result.layer_counts[network]] + [counts.get(k, 0) for k in kinds])
+    table = format_table(["network", "layers"] + kinds, rows)
+    return f"Figure 5: frequency of operation application\n{table}"
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(format_report(run()))

@@ -1,0 +1,56 @@
+"""Figure 9: interpolating between two NAS models.
+
+Two BlockSwap-style models (grouped blocks with G=2 and G=4) are the
+endpoints; parameterised transformation chains in the unified framework
+generate intermediate block types (including the Sequence-3 split-grouping
+operator), yielding models that trade parameters against error and — in the
+paper — expose a new Pareto-optimal point between the endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.interpolation import InterpolationResult, interpolate_between_groupings
+from repro.experiments.common import ExperimentScale, cifar_dataset, format_table, get_scale
+from repro.models import resnet34
+
+
+@dataclass
+class Fig9Result:
+    interpolation: InterpolationResult = field(default_factory=InterpolationResult)
+
+    @property
+    def points(self):
+        return self.interpolation.points
+
+    def pareto_labels(self) -> list[str]:
+        return [point.label for point in self.interpolation.pareto_front()]
+
+
+def run(scale: str | ExperimentScale = "ci", seed: int = 0) -> Fig9Result:
+    scale = get_scale(scale)
+    dataset = cifar_dataset(scale, seed=seed)
+    width = scale.pipeline.width_multiplier
+
+    def builder():
+        return resnet34(width_multiplier=width)
+
+    interpolation = interpolate_between_groupings(
+        builder, dataset, steps=scale.interpolation_steps, epochs=scale.proxy_epochs,
+        batch_size=scale.proxy_batch, seed=seed)
+    return Fig9Result(interpolation=interpolation)
+
+
+def format_report(result: Fig9Result) -> str:
+    rows = [(p.label, p.parameters, p.error, "yes" if p.is_endpoint else "no")
+            for p in result.points]
+    table = format_table(["model", "parameters", "error %", "endpoint"], rows)
+    notes = (f"Pareto front: {', '.join(result.pareto_labels())}\n"
+             f"interpolated model on the Pareto front: "
+             f"{result.interpolation.has_new_pareto_point()}")
+    return f"Figure 9: interpolating between NAS models\n{table}\n{notes}"
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(format_report(run()))

@@ -1,0 +1,22 @@
+"""Fisher Potential: compile-time legality for neural transformations."""
+
+from repro.fisher.potential import (
+    FisherProfile,
+    LayerFisherRecord,
+    candidate_layer_fisher,
+    channel_fisher,
+    fisher_profile,
+    layer_fisher,
+    network_fisher_potential,
+)
+from repro.fisher.legality import (
+    FisherLegalityChecker,
+    LegalityDecision,
+    sensitive_layers,
+)
+
+__all__ = [
+    "FisherProfile", "LayerFisherRecord", "candidate_layer_fisher", "channel_fisher",
+    "fisher_profile", "layer_fisher", "network_fisher_potential",
+    "FisherLegalityChecker", "LegalityDecision", "sensitive_layers",
+]

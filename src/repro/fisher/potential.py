@@ -1,0 +1,187 @@
+"""Fisher Potential (§5.2): the paper's representational legality metric.
+
+For a convolution channel ``c`` with activation tensor ``A`` (N x W x H)
+and loss gradient ``g`` of the same shape, the channel score is
+
+    Delta_c = 1/(2N) * sum_n ( - sum_ij A_nij * g_nij )^2        (eq. 4)
+
+A layer's score is the sum over its output channels (eq. 5), and the
+Fisher Potential of a network is the sum of layer scores computed on a
+single random minibatch at initialisation.  Proposed architectures whose
+potential falls below the original's are rejected without training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers import Conv2d
+from repro.nn.module import Module
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor
+
+
+def channel_fisher(activation: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+    """Per-channel Fisher scores from an (N, C, H, W) activation/gradient pair."""
+    if activation.shape != gradient.shape:
+        raise ModelError(
+            f"activation {activation.shape} and gradient {gradient.shape} shapes differ")
+    if activation.ndim != 4:
+        raise ModelError(f"expected NCHW activations, got shape {activation.shape}")
+    batch = activation.shape[0]
+    per_example = -(activation * gradient).sum(axis=(2, 3))   # (N, C)
+    return (per_example ** 2).sum(axis=0) / (2.0 * batch)      # (C,)
+
+
+def layer_fisher(activation: np.ndarray, gradient: np.ndarray) -> float:
+    """Layer score: sum of channel scores (eq. 5)."""
+    return float(channel_fisher(activation, gradient).sum())
+
+
+@dataclass
+class LayerFisherRecord:
+    """Everything recorded about one convolution during the Fisher pass."""
+
+    name: str
+    score: float
+    input_activation: np.ndarray
+    output_gradient: np.ndarray
+    output_reference_std: np.ndarray
+    output_shape: tuple[int, ...]
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    stride: int
+    padding: int
+    groups: int
+    input_hw: tuple[int, int]
+
+
+@dataclass
+class FisherProfile:
+    """Per-layer Fisher scores of a network on one minibatch."""
+
+    layers: dict[str, LayerFisherRecord] = field(default_factory=dict)
+    loss: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """The network's Fisher Potential."""
+        return sum(record.score for record in self.layers.values())
+
+    def score_of(self, name: str) -> float:
+        return self.layers[name].score
+
+    def layer_names(self) -> list[str]:
+        return list(self.layers)
+
+    def without_layer(self, name: str) -> float:
+        """Potential of the network excluding one layer's contribution."""
+        return self.total - self.layers[name].score
+
+
+def _conv_layers(model: Module) -> list[tuple[str, Conv2d]]:
+    convs = []
+    for name, module in model.named_modules():
+        if isinstance(module, Conv2d):
+            convs.append((name, module))
+    return convs
+
+
+def fisher_profile(model: Module, images: np.ndarray, labels: np.ndarray) -> FisherProfile:
+    """Run one forward/backward pass and collect per-layer Fisher scores.
+
+    The model is evaluated in training mode (batch statistics) as in the
+    reference implementation; recording hooks are enabled only for the
+    duration of the call.
+    """
+    convs = _conv_layers(model)
+    previous_flags = [conv.record_activations for _, conv in convs]
+    for _, conv in convs:
+        conv.record_activations = True
+        conv.last_input = None
+        conv.last_output = None
+
+    was_training = model.training
+    model.train(True)
+    logits = model(Tensor(np.asarray(images)))
+    loss = ops.cross_entropy(logits, np.asarray(labels))
+    model.zero_grad()
+    loss.backward()
+
+    profile = FisherProfile(loss=float(loss.data))
+    for (name, conv), flag in zip(convs, previous_flags):
+        output = conv.last_output
+        conv.record_activations = flag
+        if output is None or output.grad is None or conv.last_input is None:
+            continue
+        score = layer_fisher(output.data, output.grad)
+        in_hw = conv.last_input.shape[2:]
+        profile.layers[name] = LayerFisherRecord(
+            name=name,
+            score=score,
+            input_activation=conv.last_input.data.copy(),
+            output_gradient=output.grad.copy(),
+            output_reference_std=output.data.std(axis=(0, 2, 3)),
+            output_shape=tuple(output.shape),
+            in_channels=conv.in_channels,
+            out_channels=conv.out_channels,
+            kernel_size=conv.kernel_size,
+            stride=conv.stride,
+            padding=conv.padding,
+            groups=conv.groups,
+            input_hw=(int(in_hw[0]), int(in_hw[1])),
+        )
+        conv.last_input = None
+        conv.last_output = None
+
+    model.train(was_training)
+    model.zero_grad()
+    return profile
+
+
+def network_fisher_potential(model: Module, images: np.ndarray, labels: np.ndarray) -> float:
+    """The scalar Fisher Potential of a network on one minibatch."""
+    return fisher_profile(model, images, labels).total
+
+
+def candidate_layer_fisher(record: LayerFisherRecord, candidate: Module) -> float:
+    """Fisher score of a candidate replacement for one convolution layer.
+
+    The candidate is evaluated *locally*: the original layer's recorded
+    input activations are pushed through the candidate, and the original
+    layer's output gradient stands in for the candidate's (both produce
+    tensors of identical shape, and at initialisation the upstream loss
+    geometry is unchanged to first order).
+
+    Because every convolution in the evaluated networks is followed by
+    batch normalisation, the full-network score is insensitive to the raw
+    scale of the convolution output (BN's backward divides the gradient by
+    the batch standard deviation).  The local evaluation reproduces that
+    invariance by rescaling the candidate's activations channel-wise to the
+    original layer's channel standard deviations before applying eq. 4;
+    without this, candidates built from stacked convolutions would be
+    favoured purely for their larger initial variance.  This is the cheap
+    evaluation mode used during search; DESIGN.md discusses the
+    full-network alternative, which :func:`fisher_profile` supports
+    directly.
+    """
+    candidate.train(True)
+    output = candidate(Tensor(record.input_activation))
+    if tuple(output.shape) != record.output_shape:
+        raise ModelError(
+            f"candidate output shape {tuple(output.shape)} does not match the original "
+            f"layer's {record.output_shape}")
+    activation = _match_channel_scale(output.data, record)
+    return layer_fisher(activation, record.output_gradient)
+
+
+def _match_channel_scale(activation: np.ndarray, record: LayerFisherRecord) -> np.ndarray:
+    """Rescale activations channel-wise to the original layer's channel stds."""
+    candidate_std = activation.std(axis=(0, 2, 3), keepdims=True)
+    reference_std = record.output_reference_std.reshape(1, -1, 1, 1)
+    safe = np.where(candidate_std > 1e-12, candidate_std, 1.0)
+    return activation / safe * reference_std

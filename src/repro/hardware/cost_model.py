@@ -1,0 +1,262 @@
+"""Analytic latency model for lowered, scheduled loop nests.
+
+The model combines three classic ingredients:
+
+* a **roofline**: latency is at least compute-bound time and at least
+  memory-bound time;
+* a **cache-reuse traffic model**: the DRAM traffic of each tensor is the
+  footprint of the deepest sub-nest that fits in the last-level cache,
+  multiplied by the trip count of the loops outside that sub-nest that
+  actually change the tensor's working set;
+* **schedule-quality factors**: vectorization (innermost stride-1 access of
+  sufficient extent), loop-overhead reduction from unrolling, multicore
+  parallelisation (CPU), and thread-block mapping, occupancy and
+  coalescing (GPU).
+
+Absolute numbers are not the point (the paper's testbed is real hardware);
+the model's job is to rank schedules and operators the way the hardware
+would, which is what the search and all the figures rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.platform import PlatformSpec
+from repro.tenir.lower import LoweredAccess, LoweredLoop, LoweredNest
+from repro.utils import prod
+
+
+@dataclass(frozen=True)
+class LatencyEstimate:
+    """Latency breakdown for one operator on one platform."""
+
+    seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    overhead_seconds: float
+    dram_bytes: float
+    flops: float
+    vector_efficiency: float
+    parallel_fraction: float
+    details: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.flops / max(self.dram_bytes, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Traffic model
+# ---------------------------------------------------------------------------
+def _tensor_footprints(nest: LoweredNest, depth: int) -> dict[str, int]:
+    """Unique elements touched per tensor by the sub-nest starting at ``depth``."""
+    varying = nest.varying_iterators_from(depth)
+    footprints: dict[str, int] = {}
+    for access in nest.accesses:
+        elements = access.footprint(varying)
+        footprints[access.tensor] = max(footprints.get(access.tensor, 0), elements)
+    return footprints
+
+
+def _reuse_depth(nest: LoweredNest, cache_bytes: int) -> int:
+    """Outermost loop depth whose sub-nest working set fits in the cache."""
+    for depth in range(len(nest.loops) + 1):
+        footprint = sum(_tensor_footprints(nest, depth).values()) * nest.element_bytes
+        if footprint <= cache_bytes:
+            return depth
+    return len(nest.loops)
+
+
+def estimate_dram_traffic(nest: LoweredNest, cache_bytes: int) -> float:
+    """DRAM bytes moved by the nest under a shared cache of ``cache_bytes``."""
+    depth = _reuse_depth(nest, cache_bytes)
+    footprints = _tensor_footprints(nest, depth)
+    outer_loops = nest.loops[:depth]
+    traffic_bytes = 0.0
+    for access in nest.accesses:
+        footprint = footprints[access.tensor]
+        # Only outer loops that change this tensor's working set force refetches.
+        refetch = 1
+        for loop in outer_loops:
+            if access.stride_of(loop.name) != 0 or any(
+                loop.name in coeffs for coeffs in access.dim_coefficients
+            ):
+                refetch *= loop.extent
+        tensor_bytes = footprint * refetch * nest.element_bytes
+        # Compulsory lower bound: the tensor must be read/written at least once.
+        tensor_bytes = max(tensor_bytes, access.total_elements * nest.element_bytes)
+        # Writes cost twice (write-allocate + write-back).
+        if access.is_write:
+            tensor_bytes *= 2
+        traffic_bytes += tensor_bytes
+    return traffic_bytes
+
+
+# ---------------------------------------------------------------------------
+# Schedule-quality factors
+# ---------------------------------------------------------------------------
+def _innermost_vector_loop(nest: LoweredNest) -> LoweredLoop:
+    for loop in reversed(nest.loops):
+        if loop.annotation.vectorize:
+            return loop
+    return nest.loops[-1]
+
+
+def _vector_efficiency(nest: LoweredNest, platform: PlatformSpec) -> float:
+    """How well the innermost (or vectorized) loop uses the SIMD lanes."""
+    loop = _innermost_vector_loop(nest)
+    explicit = loop.annotation.vectorize
+    width = platform.vector_width
+    lane_fill = min(loop.extent, width) / width
+    stride_quality = 0.0
+    weights = 0.0
+    for access in nest.accesses:
+        weight = 2.0 if not access.is_write else 1.0
+        stride = abs(access.stride_of(loop.name))
+        if stride == 0:
+            quality = 0.9   # broadcast: value kept in register
+        elif stride == 1:
+            quality = 1.0   # unit stride: vector load
+        else:
+            quality = max(1.0 / width, 1.0 / stride)  # gather-like access
+        stride_quality += weight * quality
+        weights += weight
+    stride_quality /= max(weights, 1.0)
+    efficiency = lane_fill * stride_quality
+    if not explicit:
+        efficiency *= 0.6   # auto-vectorisation is less reliable than explicit
+    return max(efficiency, 1.0 / (2.0 * width))
+
+
+def _instruction_efficiency(nest: LoweredNest) -> float:
+    """Loop overhead reduction from unrolling the innermost loops."""
+    innermost = nest.loops[-1]
+    unroll = innermost.annotation.unroll
+    for loop in reversed(nest.loops):
+        unroll = max(unroll, loop.annotation.unroll)
+    if unroll >= 8:
+        return 1.0
+    if unroll >= 4:
+        return 0.95
+    if unroll >= 2:
+        return 0.9
+    return 0.82
+
+
+def _cpu_parallelism(nest: LoweredNest, platform: PlatformSpec) -> tuple[float, float]:
+    """(cores used, efficiency) from ``parallel`` annotations."""
+    parallel_iterations = 1
+    for loop in nest.loops:
+        if loop.annotation.parallel:
+            parallel_iterations *= loop.extent
+    if parallel_iterations <= 1:
+        return 1.0, 1.0
+    cores_used = min(platform.cores, parallel_iterations)
+    # Load imbalance when the parallel iteration count does not divide cores.
+    balance = parallel_iterations / (cores_used * -(-parallel_iterations // cores_used))
+    return float(cores_used), 0.92 * balance
+
+
+def _gpu_mapping(nest: LoweredNest, platform: PlatformSpec) -> tuple[float, float, float]:
+    """(concurrency fraction, coalescing factor, mapping efficiency) for GPUs."""
+    blocks = nest.bound_extent("blockIdx")
+    threads_per_block = nest.bound_extent("threadIdx")
+    vthreads = nest.bound_extent("vthread")
+    explicit = blocks * threads_per_block > 1
+
+    if not explicit:
+        # Un-tuned mapping: the driver still launches something, but poorly.
+        total_threads = min(prod(l.extent for l in nest.loops[:2]), 4096)
+        concurrency = min(1.0, total_threads / (platform.cores * platform.threads_per_core))
+        return max(concurrency, 1e-3) * 0.35, 0.5, 0.5
+
+    total_threads = blocks * threads_per_block * max(vthreads, 1)
+    capacity = platform.cores * platform.threads_per_core
+    concurrency = min(1.0, total_threads / capacity)
+    # Small blocks waste scheduler slots; very large blocks limit occupancy.
+    if threads_per_block < platform.vector_width:
+        block_quality = threads_per_block / platform.vector_width
+    elif threads_per_block > 1024:
+        block_quality = 0.6
+    else:
+        block_quality = 1.0
+
+    # Coalescing: stride of the threadIdx.x-bound iterator in global accesses.
+    thread_iter = None
+    for loop in nest.loops:
+        if loop.annotation.bind == "threadIdx.x":
+            thread_iter = loop.name
+            break
+    if thread_iter is None:
+        coalescing = 0.6
+    else:
+        qualities = []
+        for access in nest.accesses:
+            stride = abs(access.stride_of(thread_iter))
+            if stride == 0:
+                qualities.append(0.95)
+            elif stride == 1:
+                qualities.append(1.0)
+            else:
+                qualities.append(max(1.0 / platform.vector_width, 1.0 / stride))
+        coalescing = sum(qualities) / len(qualities)
+
+    return max(concurrency, 1e-3), coalescing, block_quality
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+def estimate_latency(nest: LoweredNest, platform: PlatformSpec) -> LatencyEstimate:
+    """Estimate the latency of one scheduled operator on one platform."""
+    flops = 2.0 * nest.macs
+    dram_bytes = estimate_dram_traffic(nest, platform.cache_bytes)
+    overhead = platform.launch_overhead_us * 1e-6
+
+    if platform.is_gpu:
+        concurrency, coalescing, mapping_quality = _gpu_mapping(nest, platform)
+        instr = _instruction_efficiency(nest)
+        effective_flops = platform.peak_flops * concurrency * mapping_quality * instr
+        compute_seconds = flops / max(effective_flops, 1.0)
+        memory_seconds = dram_bytes / (platform.dram_bandwidth * coalescing)
+        vector_eff = coalescing
+        parallel_fraction = concurrency
+    else:
+        cores_used, parallel_eff = _cpu_parallelism(nest, platform)
+        vector_eff = _vector_efficiency(nest, platform)
+        instr = _instruction_efficiency(nest)
+        per_core_peak = platform.peak_flops / platform.cores
+        effective_flops = per_core_peak * cores_used * parallel_eff * vector_eff * instr
+        compute_seconds = flops / max(effective_flops, 1.0)
+        bandwidth_share = 0.55 + 0.45 * (cores_used / platform.cores)
+        memory_seconds = dram_bytes / (platform.dram_bandwidth * bandwidth_share)
+        parallel_fraction = cores_used / platform.cores
+
+    seconds = max(compute_seconds, memory_seconds) + overhead
+    return LatencyEstimate(
+        seconds=seconds,
+        compute_seconds=compute_seconds,
+        memory_seconds=memory_seconds,
+        overhead_seconds=overhead,
+        dram_bytes=dram_bytes,
+        flops=flops,
+        vector_efficiency=vector_eff,
+        parallel_fraction=parallel_fraction,
+        details={"instruction_efficiency": _instruction_efficiency(nest)},
+    )
+
+
+def estimate_roofline_bound(nest: LoweredNest, platform: PlatformSpec) -> float:
+    """Idealised roofline lower bound (no schedule-quality penalties).
+
+    Used by the cost-model ablation benchmark to show why the richer model
+    is needed to separate schedules.
+    """
+    flops = 2.0 * nest.macs
+    compulsory = nest.total_data_bytes()
+    return max(flops / platform.peak_flops, compulsory / platform.dram_bandwidth)

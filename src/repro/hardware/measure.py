@@ -1,0 +1,58 @@
+"""Network-level "measurement": sum per-operator latency estimates.
+
+This module plays the role of running a compiled model on the target and
+timing it.  A network is a sequence of lowered operators; its latency is
+the sum of per-operator estimates (the deployment targets in the paper run
+operators sequentially) plus a small per-operator graph-runtime overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.hardware.cost_model import LatencyEstimate, estimate_latency
+from repro.hardware.platform import PlatformSpec
+from repro.tenir.lower import LoweredNest
+
+#: Graph-runtime bookkeeping per operator (memory planning, tensor handoff).
+GRAPH_OVERHEAD_US = 1.0
+
+
+@dataclass(frozen=True)
+class NetworkMeasurement:
+    """Latency of a whole network plus its per-layer breakdown."""
+
+    platform: str
+    total_seconds: float
+    layer_estimates: tuple[LatencyEstimate, ...]
+    layer_names: tuple[str, ...]
+
+    @property
+    def total_milliseconds(self) -> float:
+        return self.total_seconds * 1e3
+
+    def layer_seconds(self) -> list[float]:
+        return [estimate.seconds for estimate in self.layer_estimates]
+
+    def speedup_over(self, baseline: "NetworkMeasurement") -> float:
+        """Speedup of ``baseline`` relative to this measurement (>1 = faster)."""
+        return baseline.total_seconds / self.total_seconds
+
+
+def measure_network(nests: Sequence[LoweredNest], platform: PlatformSpec) -> NetworkMeasurement:
+    """Estimate end-to-end latency of a network of lowered operators."""
+    estimates = [estimate_latency(nest, platform) for nest in nests]
+    overhead = GRAPH_OVERHEAD_US * 1e-6 * len(nests)
+    total = sum(estimate.seconds for estimate in estimates) + overhead
+    return NetworkMeasurement(
+        platform=platform.name,
+        total_seconds=total,
+        layer_estimates=tuple(estimates),
+        layer_names=tuple(nest.name for nest in nests),
+    )
+
+
+def speedup(baseline: NetworkMeasurement, optimized: NetworkMeasurement) -> float:
+    """Speedup of ``optimized`` over ``baseline`` (the quantity in Figure 4)."""
+    return baseline.total_seconds / optimized.total_seconds

@@ -1,0 +1,102 @@
+"""Analytic descriptions of the paper's four evaluation platforms.
+
+The paper measures on an Intel Core i7 (CPU), an Nvidia GTX 1080Ti (GPU),
+an ARM Cortex-A57 (mCPU) and the 128-core Maxwell mobile GPU of a Jetson
+Nano (mGPU).  None of that hardware is available here, so each platform is
+described by the parameters an analytic latency model needs: peak compute,
+memory bandwidth, cache capacities, vector width, core/SM counts and
+fixed overheads.  The absolute numbers are public datasheet figures; the
+experiments only rely on the *relative* behaviour they induce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Parameters of one deployment target."""
+
+    name: str
+    kind: str                      # "cpu" or "gpu"
+    peak_gflops: float             # single-precision peak, GFLOP/s
+    dram_bandwidth_gbs: float      # GB/s
+    cache_bytes: int               # last-level cache (CPU) or L2 (GPU)
+    l1_bytes: int                  # per-core L1 (CPU) or shared/L1 per SM (GPU)
+    cores: int                     # CPU cores or GPU SMs
+    vector_width: int              # SIMD lanes (CPU) or warp size (GPU)
+    threads_per_core: int          # max resident threads per SM (GPU) / SMT (CPU)
+    launch_overhead_us: float      # per-operator fixed overhead
+    frequency_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cpu", "gpu"):
+            raise PlatformError(f"unknown platform kind '{self.kind}'")
+        if self.peak_gflops <= 0 or self.dram_bandwidth_gbs <= 0:
+            raise PlatformError("peak compute and bandwidth must be positive")
+
+    @property
+    def is_gpu(self) -> bool:
+        return self.kind == "gpu"
+
+    @property
+    def peak_flops(self) -> float:
+        return self.peak_gflops * 1e9
+
+    @property
+    def dram_bandwidth(self) -> float:
+        return self.dram_bandwidth_gbs * 1e9
+
+    @property
+    def machine_balance(self) -> float:
+        """FLOPs per byte at which the roofline knee sits."""
+        return self.peak_flops / self.dram_bandwidth
+
+
+#: Intel Core i7 (desktop, 6 cores, AVX2) — the paper's "CPU".
+INTEL_I7 = PlatformSpec(
+    name="cpu", kind="cpu", peak_gflops=460.0, dram_bandwidth_gbs=41.0,
+    cache_bytes=12 * 1024 * 1024, l1_bytes=32 * 1024, cores=6, vector_width=8,
+    threads_per_core=2, launch_overhead_us=2.0, frequency_ghz=3.7,
+)
+
+#: Nvidia GTX 1080Ti — the paper's "GPU".
+NVIDIA_1080TI = PlatformSpec(
+    name="gpu", kind="gpu", peak_gflops=11340.0, dram_bandwidth_gbs=484.0,
+    cache_bytes=2816 * 1024, l1_bytes=96 * 1024, cores=28, vector_width=32,
+    threads_per_core=2048, launch_overhead_us=8.0, frequency_ghz=1.58,
+)
+
+#: ARM Cortex-A57 (Jetson Nano CPU cluster) — the paper's "mCPU".
+ARM_A57 = PlatformSpec(
+    name="mcpu", kind="cpu", peak_gflops=28.0, dram_bandwidth_gbs=25.6,
+    cache_bytes=2 * 1024 * 1024, l1_bytes=32 * 1024, cores=4, vector_width=4,
+    threads_per_core=1, launch_overhead_us=4.0, frequency_ghz=1.43,
+)
+
+#: 128-core Maxwell mobile GPU (Jetson Nano) — the paper's "mGPU".
+MAXWELL_MGPU = PlatformSpec(
+    name="mgpu", kind="gpu", peak_gflops=472.0, dram_bandwidth_gbs=25.6,
+    cache_bytes=256 * 1024, l1_bytes=48 * 1024, cores=1, vector_width=32,
+    threads_per_core=2048, launch_overhead_us=15.0, frequency_ghz=0.92,
+)
+
+#: The four platforms of the evaluation, keyed by the names used in Figure 4.
+PLATFORMS: dict[str, PlatformSpec] = {
+    "cpu": INTEL_I7,
+    "gpu": NVIDIA_1080TI,
+    "mcpu": ARM_A57,
+    "mgpu": MAXWELL_MGPU,
+}
+
+
+def get_platform(name: str) -> PlatformSpec:
+    """Look a platform up by its Figure-4 name (cpu / gpu / mcpu / mgpu)."""
+    try:
+        return PLATFORMS[name.lower()]
+    except KeyError as exc:
+        raise PlatformError(
+            f"unknown platform '{name}'; expected one of {sorted(PLATFORMS)}") from exc

@@ -1,0 +1,22 @@
+"""Model zoo: the networks evaluated in the paper."""
+
+from repro.models.resnet import ResNet, resnet18, resnet34
+from repro.models.resnext import ResNeXt, resnext29_2x64d
+from repro.models.densenet import DenseNet, densenet161, densenet169, densenet201
+from repro.models.skeleton import (
+    CELL_EDGES,
+    CELL_OPERATIONS,
+    Cell,
+    CellSkeleton,
+    CellSpec,
+    all_cell_specs,
+    enumerate_cell_space,
+)
+
+__all__ = [
+    "ResNet", "resnet18", "resnet34",
+    "ResNeXt", "resnext29_2x64d",
+    "DenseNet", "densenet161", "densenet169", "densenet201",
+    "CELL_EDGES", "CELL_OPERATIONS", "Cell", "CellSkeleton", "CellSpec",
+    "all_cell_specs", "enumerate_cell_space",
+]

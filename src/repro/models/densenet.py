@@ -1,0 +1,93 @@
+"""DenseNet models (Huang et al., 2017): DenseNet-161 / 169 / 201.
+
+DenseNet relies heavily on 1x1 convolutions inside its dense layers, which
+is why the paper includes it.  The variants differ in growth rate and the
+number of layers per dense block.  ``depth_multiplier`` and
+``width_multiplier`` scale the block depths / growth rate for NumPy-scale
+runs while preserving the block/transition structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.blocks import DenseBlock, TransitionLayer
+from repro.nn.layers import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+from repro.utils import make_rng
+
+#: (growth rate, per-block layer counts, initial channels) for each variant.
+DENSENET_CONFIGS = {
+    "densenet161": (48, (6, 12, 36, 24), 96),
+    "densenet169": (32, (6, 12, 32, 32), 64),
+    "densenet201": (32, (6, 12, 48, 32), 64),
+}
+
+
+class DenseNet(Module):
+    """Densely connected convolutional network."""
+
+    def __init__(self, variant: str = "densenet161", *, num_classes: int = 10,
+                 width_multiplier: float = 1.0, depth_multiplier: float = 1.0,
+                 compression: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if variant not in DENSENET_CONFIGS:
+            raise ModelError(f"unknown DenseNet variant '{variant}'")
+        rng = rng or make_rng()
+        self.variant = variant
+        growth, block_layers, init_channels = DENSENET_CONFIGS[variant]
+        growth = max(4, int(round(growth * width_multiplier)))
+        growth -= growth % 2
+        init_channels = max(8, int(round(init_channels * width_multiplier)))
+        init_channels -= init_channels % 2
+        block_layers = tuple(max(1, int(round(n * depth_multiplier))) for n in block_layers)
+        self.growth_rate = growth
+        self.block_layers = block_layers
+
+        self.stem_conv = Conv2d(3, init_channels, 3, padding=1, rng=rng)
+        self.stem_bn = BatchNorm2d(init_channels)
+
+        channels = init_channels
+        self.dense_blocks: list[DenseBlock] = []
+        self.transitions: list[TransitionLayer | None] = []
+        for index, layers in enumerate(block_layers):
+            block = DenseBlock(layers, channels, growth, rng=rng)
+            setattr(self, f"denseblock{index}", block)
+            self.dense_blocks.append(block)
+            channels = block.out_channels
+            if index < len(block_layers) - 1:
+                out_channels = max(2, int(channels * compression))
+                out_channels -= out_channels % 2
+                transition = TransitionLayer(channels, out_channels, rng=rng)
+                setattr(self, f"transition{index}", transition)
+                self.transitions.append(transition)
+                channels = out_channels
+            else:
+                self.transitions.append(None)
+
+        self.final_bn = BatchNorm2d(channels)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem_conv(x)).relu()
+        for block, transition in zip(self.dense_blocks, self.transitions):
+            out = block(out)
+            if transition is not None:
+                out = transition(out)
+        out = self.final_bn(out).relu()
+        return self.fc(self.pool(out))
+
+
+def densenet161(**kwargs) -> DenseNet:
+    return DenseNet("densenet161", **kwargs)
+
+
+def densenet169(**kwargs) -> DenseNet:
+    return DenseNet("densenet169", **kwargs)
+
+
+def densenet201(**kwargs) -> DenseNet:
+    return DenseNet("densenet201", **kwargs)

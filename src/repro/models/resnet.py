@@ -1,0 +1,87 @@
+"""ResNet models (He et al., 2016) used throughout the paper's evaluation.
+
+ResNet-18 and ResNet-34 are built from :class:`BasicResidualBlock`.  The
+constructors accept a ``width_multiplier`` and an ``input_size`` so the
+experiment drivers can run a faithfully shaped but smaller instance on the
+NumPy substrate (the block structure and layer counts are unchanged).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.blocks import BasicResidualBlock
+from repro.nn.layers import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, MaxPool2d
+from repro.nn.module import Module, Sequential
+from repro.tensor.tensor import Tensor
+from repro.utils import make_rng
+
+#: Blocks per stage for each variant.
+RESNET_STAGES = {
+    "resnet18": (2, 2, 2, 2),
+    "resnet34": (3, 4, 6, 3),
+}
+
+#: Base channel counts per stage (before width multiplication).
+RESNET_CHANNELS = (64, 128, 256, 512)
+
+
+class ResNet(Module):
+    """Residual network with four stages of basic blocks."""
+
+    def __init__(self, variant: str = "resnet34", *, num_classes: int = 10,
+                 width_multiplier: float = 1.0, imagenet_stem: bool = False,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if variant not in RESNET_STAGES:
+            raise ModelError(f"unknown ResNet variant '{variant}'")
+        rng = rng or make_rng()
+        self.variant = variant
+        self.num_classes = num_classes
+        self.imagenet_stem = imagenet_stem
+
+        channels = [max(8, int(round(c * width_multiplier))) for c in RESNET_CHANNELS]
+        # Keep channel counts divisible by 8 so grouping factors 2/4/8 apply.
+        channels = [c - (c % 8) if c >= 16 else c for c in channels]
+        self.stage_channels = channels
+
+        stem_channels = channels[0]
+        if imagenet_stem:
+            self.stem_conv = Conv2d(3, stem_channels, 7, stride=2, padding=3, rng=rng)
+            self.stem_pool: Module | None = MaxPool2d(3, stride=2, padding=1)
+        else:
+            self.stem_conv = Conv2d(3, stem_channels, 3, stride=1, padding=1, rng=rng)
+            self.stem_pool = None
+        self.stem_bn = BatchNorm2d(stem_channels)
+
+        blocks: list[BasicResidualBlock] = []
+        in_channels = stem_channels
+        for stage_index, (depth, out_channels) in enumerate(zip(RESNET_STAGES[variant], channels)):
+            for block_index in range(depth):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                block = BasicResidualBlock(in_channels, out_channels, stride=stride, rng=rng)
+                blocks.append(block)
+                setattr(self, f"stage{stage_index}_block{block_index}", block)
+                in_channels = out_channels
+        self.blocks = blocks
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(in_channels, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem_conv(x)).relu()
+        if self.stem_pool is not None:
+            out = self.stem_pool(out)
+        for block in self.blocks:
+            out = block(out)
+        return self.fc(self.pool(out))
+
+
+def resnet18(**kwargs) -> ResNet:
+    """ResNet-18 (used in the ImageNet study, Figure 8)."""
+    return ResNet("resnet18", **kwargs)
+
+
+def resnet34(**kwargs) -> ResNet:
+    """ResNet-34 (the main CIFAR-10 and layer-wise study network)."""
+    return ResNet("resnet34", **kwargs)

@@ -1,0 +1,67 @@
+"""ResNeXt-29 (Xie et al., 2017), the grouped-convolution network of the paper.
+
+The paper evaluates ResNeXt-29 (2x64d): 29 layers arranged as three stages
+of three :class:`ResNeXtBlock` each, cardinality 2 and base width 64.  A
+``width_multiplier`` scales the widths for small-substrate runs while
+keeping the 3x3 stage structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.blocks import ResNeXtBlock
+from repro.nn.layers import BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear
+from repro.nn.module import Module
+from repro.tensor.tensor import Tensor
+from repro.utils import make_rng
+
+
+class ResNeXt(Module):
+    """ResNeXt for CIFAR-sized inputs: 3 stages x ``blocks_per_stage`` blocks."""
+
+    def __init__(self, *, cardinality: int = 2, base_width: int = 64,
+                 blocks_per_stage: int = 3, num_classes: int = 10,
+                 width_multiplier: float = 1.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or make_rng()
+        self.cardinality = cardinality
+        self.base_width = max(cardinality, int(round(base_width * width_multiplier)))
+        widen_factor = 4
+        stage_widths = [64 * widen_factor, 128 * widen_factor, 256 * widen_factor]
+        stage_widths = [max(2 * cardinality, int(round(w * width_multiplier))) for w in stage_widths]
+        stage_widths = [w - (w % (2 * cardinality)) for w in stage_widths]
+        self.stage_widths = stage_widths
+
+        stem_channels = max(8, int(round(64 * width_multiplier)))
+        self.stem_conv = Conv2d(3, stem_channels, 3, padding=1, rng=rng)
+        self.stem_bn = BatchNorm2d(stem_channels)
+
+        blocks: list[ResNeXtBlock] = []
+        in_channels = stem_channels
+        for stage_index, out_channels in enumerate(stage_widths):
+            for block_index in range(blocks_per_stage):
+                stride = 2 if (stage_index > 0 and block_index == 0) else 1
+                block = ResNeXtBlock(in_channels, out_channels, cardinality=cardinality,
+                                     base_width=self.base_width, widen_factor=widen_factor,
+                                     stride=stride, rng=rng)
+                blocks.append(block)
+                setattr(self, f"stage{stage_index}_block{block_index}", block)
+                in_channels = out_channels
+        self.blocks = blocks
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(in_channels, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem_conv(x)).relu()
+        for block in self.blocks:
+            out = block(out)
+        return self.fc(self.pool(out))
+
+
+def resnext29_2x64d(**kwargs) -> ResNeXt:
+    """The exact configuration evaluated in the paper (Figure 4b)."""
+    kwargs.setdefault("cardinality", 2)
+    kwargs.setdefault("base_width", 64)
+    kwargs.setdefault("blocks_per_stage", 3)
+    return ResNeXt(**kwargs)

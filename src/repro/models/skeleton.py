@@ -1,0 +1,170 @@
+"""NAS-Bench-201-style cell skeleton (Dong & Yang, 2020).
+
+The paper's Figure 2 and Figure 3 use the NAS-Bench-201 design space: a
+ResNet-like skeleton whose cells are DAGs of four nodes (A, B, C, D), with
+each of the six forward edges carrying one of five operations::
+
+    identity | zeroize | conv3x3 | conv1x1 | avgpool3x3
+
+(the paper's Figure 2 lists identity, zeroize, conv3x3, conv1x1; NAS-Bench-201
+adds 3x3 average pooling — we keep all five so the space has the exact
+15625 = 5^6 cells the paper quotes).
+
+:class:`Cell` instantiates one cell as a trainable module;
+:class:`CellSkeleton` stacks cells with downsampling blocks in between,
+mirroring the "5 cells in series" skeleton described in §3.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    Zeroize,
+)
+from repro.nn.blocks import BasicResidualBlock
+from repro.nn.module import Module, Sequential
+from repro.tensor.tensor import Tensor
+from repro.utils import make_rng
+
+#: The five NAS-Bench-201 edge operations.
+CELL_OPERATIONS: tuple[str, ...] = ("identity", "zeroize", "conv3x3", "conv1x1", "avgpool3x3")
+
+#: Edges of the 4-node cell DAG: node j receives every node i < j.
+CELL_EDGES: tuple[tuple[int, int], ...] = ((0, 1), (0, 2), (1, 2), (0, 3), (1, 3), (2, 3))
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """An assignment of one operation to each of the six cell edges."""
+
+    operations: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.operations) != len(CELL_EDGES):
+            raise ModelError(
+                f"a cell needs {len(CELL_EDGES)} edge operations, got {len(self.operations)}"
+            )
+        for op in self.operations:
+            if op not in CELL_OPERATIONS:
+                raise ModelError(f"unknown cell operation '{op}'")
+
+    @property
+    def index(self) -> int:
+        """Position of this cell in the canonical enumeration of the space."""
+        base = len(CELL_OPERATIONS)
+        value = 0
+        for op in self.operations:
+            value = value * base + CELL_OPERATIONS.index(op)
+        return value
+
+    @classmethod
+    def from_index(cls, index: int) -> "CellSpec":
+        base = len(CELL_OPERATIONS)
+        ops: list[str] = []
+        for _ in range(len(CELL_EDGES)):
+            ops.append(CELL_OPERATIONS[index % base])
+            index //= base
+        return cls(tuple(reversed(ops)))
+
+    def describe(self) -> str:
+        return "|".join(
+            f"{src}->{dst}:{op}" for (src, dst), op in zip(CELL_EDGES, self.operations)
+        )
+
+
+def enumerate_cell_space() -> int:
+    """Size of the full cell space (5 operations on 6 edges -> 15625)."""
+    return len(CELL_OPERATIONS) ** len(CELL_EDGES)
+
+
+def all_cell_specs():
+    """Iterate over every cell in the space (15625 total)."""
+    for ops in product(CELL_OPERATIONS, repeat=len(CELL_EDGES)):
+        yield CellSpec(tuple(ops))
+
+
+def _build_edge_op(op: str, channels: int, rng: np.random.Generator) -> Module:
+    if op == "identity":
+        return Identity()
+    if op == "zeroize":
+        return Zeroize()
+    if op == "conv3x3":
+        return Sequential(Conv2d(channels, channels, 3, padding=1, rng=rng),
+                          BatchNorm2d(channels))
+    if op == "conv1x1":
+        return Sequential(Conv2d(channels, channels, 1, rng=rng), BatchNorm2d(channels))
+    if op == "avgpool3x3":
+        return AvgPool2d(3, stride=1, padding=1)
+    raise ModelError(f"unknown cell operation '{op}'")
+
+
+class Cell(Module):
+    """One NAS-Bench-201 cell: 4 nodes, one operation per forward edge."""
+
+    def __init__(self, spec: CellSpec, channels: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or make_rng()
+        self.spec = spec
+        self.channels = channels
+        self.edge_ops: list[Module] = []
+        for edge_index, op_name in enumerate(spec.operations):
+            op = _build_edge_op(op_name, channels, rng)
+            self.edge_ops.append(op)
+            setattr(self, f"edge{edge_index}", op)
+
+    def forward(self, x: Tensor) -> Tensor:
+        nodes: list[Tensor | None] = [x, None, None, None]
+        for (src, dst), op in zip(CELL_EDGES, self.edge_ops):
+            contribution = op(nodes[src])
+            if nodes[dst] is None:
+                nodes[dst] = contribution
+            else:
+                nodes[dst] = nodes[dst] + contribution
+        assert nodes[-1] is not None
+        return nodes[-1].relu()
+
+
+class CellSkeleton(Module):
+    """ResNet-like skeleton with ``num_cells`` copies of one cell in series.
+
+    Downsampling (spatial halving, channel doubling) happens between cells
+    via residual reduction blocks, as described in §3.2 of the paper.
+    """
+
+    def __init__(self, spec: CellSpec, *, num_cells: int = 5, init_channels: int = 16,
+                 num_classes: int = 10, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or make_rng()
+        self.spec = spec
+        self.stem = Sequential(Conv2d(3, init_channels, 3, padding=1, rng=rng),
+                               BatchNorm2d(init_channels))
+        stages: list[Module] = []
+        channels = init_channels
+        for index in range(num_cells):
+            stages.append(Cell(spec, channels, rng=rng))
+            if index in (num_cells // 3, 2 * num_cells // 3) and index > 0:
+                reduction = BasicResidualBlock(channels, channels * 2, stride=2, rng=rng)
+                stages.append(reduction)
+                channels *= 2
+        self.stages = stages
+        for index, stage in enumerate(stages):
+            setattr(self, f"stagemod{index}", stage)
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(channels, num_classes, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem(x).relu()
+        for stage in self.stages:
+            out = stage(out)
+        return self.fc(self.pool(out))

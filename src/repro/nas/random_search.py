@@ -1,0 +1,129 @@
+"""Random architecture search baseline.
+
+Random search over a constrained space is known to be a competitive NAS
+baseline (§8 of the paper cites Li & Talwalkar).  This implementation
+samples random candidate assignments for the replaceable convolutions,
+filters them with Fisher Potential and keeps the assignment with the
+lowest estimated latency.  It is used by tests and the search-strategy
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError, SearchError
+from repro.fisher import FisherLegalityChecker, candidate_layer_fisher, fisher_profile
+from repro.hardware.platform import PlatformSpec
+from repro.nas.blockswap import _candidate_kinds_for
+from repro.nas.fbnet import _candidate_latency
+from repro.nn.blocks import iter_replaceable_convs
+from repro.nn.convs import CANDIDATE_KINDS, build_candidate
+from repro.nn.layers import Conv2d
+from repro.nn.module import Module
+from repro.utils import make_rng
+
+
+@dataclass(frozen=True)
+class RandomSearchCandidate:
+    """One sampled assignment with its scores."""
+
+    assignment: dict[str, str]
+    legal: bool
+    fisher_potential: float
+    latency_seconds: float
+
+
+@dataclass
+class RandomSearchResult:
+    best: RandomSearchCandidate | None = None
+    candidates_evaluated: int = 0
+    candidates_rejected: int = 0
+    history: list[RandomSearchCandidate] = field(default_factory=list)
+
+    @property
+    def rejection_rate(self) -> float:
+        if not self.candidates_evaluated:
+            return 0.0
+        return self.candidates_rejected / self.candidates_evaluated
+
+
+class RandomNASSearch:
+    """Sample assignments, reject by Fisher, rank by estimated latency."""
+
+    def __init__(self, platform: PlatformSpec, *, samples: int = 20,
+                 substitution_probability: float = 0.5,
+                 candidate_kinds: tuple[str, ...] = CANDIDATE_KINDS,
+                 seed: int | None = None):
+        if samples < 1:
+            raise SearchError("random search needs at least one sample")
+        self.platform = platform
+        self.samples = samples
+        self.substitution_probability = substitution_probability
+        self.candidate_kinds = candidate_kinds
+        self.seed = seed
+
+    def search(self, model: Module, images: np.ndarray, labels: np.ndarray,
+               input_hw: tuple[int, int]) -> RandomSearchResult:
+        rng = make_rng(self.seed)
+        profile = fisher_profile(model, images, labels)
+        checker = FisherLegalityChecker(profile)
+        layers = [(name, conv) for name, _owner, conv in iter_replaceable_convs(model)
+                  if isinstance(conv, Conv2d) and name in profile.layers]
+        if not layers:
+            raise SearchError("the model exposes no replaceable convolutions")
+
+        latency_cache: dict[tuple[str, str], float] = {}
+        score_cache: dict[tuple[str, str], float] = {}
+
+        def layer_latency(name: str, conv: Conv2d, kind: str) -> float:
+            key = (name, kind)
+            if key not in latency_cache:
+                latency_cache[key] = _candidate_latency(kind, conv, input_hw, self.platform)
+            return latency_cache[key]
+
+        def layer_score(name: str, conv: Conv2d, kind: str) -> float:
+            key = (name, kind)
+            if key not in score_cache:
+                if kind == "standard":
+                    score_cache[key] = profile.score_of(name)
+                else:
+                    candidate = build_candidate(kind, conv.in_channels, conv.out_channels,
+                                                conv.kernel_size, stride=conv.stride,
+                                                padding=conv.padding, rng=make_rng(0))
+                    try:
+                        score_cache[key] = candidate_layer_fisher(profile.layers[name], candidate)
+                    except ModelError:
+                        score_cache[key] = -np.inf
+            return score_cache[key]
+
+        result = RandomSearchResult()
+        for _ in range(self.samples):
+            assignment: dict[str, str] = {}
+            replacements: dict[str, float] = {}
+            latency = 0.0
+            for name, conv in layers:
+                kinds = _candidate_kinds_for(conv, self.candidate_kinds)
+                if kinds and rng.random() < self.substitution_probability:
+                    kind = str(rng.choice(kinds))
+                else:
+                    kind = "standard"
+                assignment[name] = kind
+                score = layer_score(name, conv, kind)
+                if kind != "standard":
+                    replacements[name] = score
+                latency += layer_latency(name, conv, kind)
+            decision = checker.check_layer_scores(replacements)
+            candidate = RandomSearchCandidate(
+                assignment=assignment, legal=decision.legal,
+                fisher_potential=decision.candidate_potential, latency_seconds=latency)
+            result.history.append(candidate)
+            result.candidates_evaluated += 1
+            if not decision.legal:
+                result.candidates_rejected += 1
+                continue
+            if result.best is None or candidate.latency_seconds < result.best.latency_seconds:
+                result.best = candidate
+        return result

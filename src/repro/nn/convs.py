@@ -1,0 +1,294 @@
+"""Convolution variants used by NAS and by the unified transformation space.
+
+Each variant corresponds to one of the operators discussed in the paper:
+
+* :class:`GroupedConv2d`        — grouping transformation (Table 1, ``group``)
+* :class:`BottleneckConv2d`     — output-channel bottlenecking (``bottleneck``)
+* :class:`InputBottleneckConv2d`— input-channel bottlenecking (the novel
+  operator derived in §2.3 by interchanging then re-applying bottlenecking)
+* :class:`DepthwiseSeparableConv2d` — depthwise special case of grouping
+* :class:`SpatialBottleneckConv2d`  — the §5.3 example (bottleneck on H and W)
+* :class:`DerivedConv2d`        — a convolution described by an arbitrary
+  :class:`ConvTransformConfig`, i.e. the operator produced by a sequence of
+  transformations from the unified search space.
+
+All variants preserve the (C_out, H, W) interface of the standard
+convolution they replace so they can be dropped into an existing network
+without touching its surrounding layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.layers import Conv2d
+from repro.nn.module import Module
+from repro.tensor import ops
+from repro.tensor.tensor import Tensor, concat
+from repro.utils import make_rng
+
+
+def _check_divisible(value: int, factor: int, what: str) -> None:
+    if factor <= 0 or value % factor != 0:
+        raise ModelError(f"{what}={value} must be divisible by factor {factor}")
+
+
+class GroupedConv2d(Module):
+    """Grouped convolution preserving the standard conv interface."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int, *,
+                 stride: int = 1, padding: int = 0, groups: int = 2,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        _check_divisible(in_channels, groups, "in_channels")
+        _check_divisible(out_channels, groups, "out_channels")
+        self.groups = groups
+        self.conv = Conv2d(in_channels, out_channels, kernel_size, stride=stride,
+                           padding=padding, groups=groups, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.conv(x)
+
+
+class BottleneckConv2d(Module):
+    """Output-channel bottlenecking followed by a pointwise expansion.
+
+    The transformation reduces the number of filters by ``factor`` and a
+    cheap 1x1 convolution restores the channel count so the operator can be
+    substituted for a standard convolution.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int, *,
+                 stride: int = 1, padding: int = 0, factor: int = 2,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        _check_divisible(out_channels, factor, "out_channels")
+        self.factor = factor
+        reduced = out_channels // factor
+        self.reduce = Conv2d(in_channels, reduced, kernel_size, stride=stride,
+                             padding=padding, rng=rng)
+        self.expand = Conv2d(reduced, out_channels, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.expand(self.reduce(x))
+
+
+class InputBottleneckConv2d(Module):
+    """Input-channel bottlenecking.
+
+    Derived in the paper (§2.3) by interchanging the channel loops and
+    re-applying bottlenecking: only the first ``C_in / factor`` input
+    channels participate in the convolution.  This operator is *not*
+    available in conventional NAS candidate lists.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int, *,
+                 stride: int = 1, padding: int = 0, factor: int = 2,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        _check_divisible(in_channels, factor, "in_channels")
+        self.factor = factor
+        self.kept_channels = in_channels // factor
+        self.conv = Conv2d(self.kept_channels, out_channels, kernel_size,
+                           stride=stride, padding=padding, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        kept = x[:, : self.kept_channels, :, :]
+        return self.conv(kept)
+
+
+class DepthwiseSeparableConv2d(Module):
+    """Depthwise convolution followed by a pointwise (1x1) convolution."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int, *,
+                 stride: int = 1, padding: int = 0, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.depthwise = Conv2d(in_channels, in_channels, kernel_size, stride=stride,
+                                padding=padding, groups=in_channels, rng=rng)
+        self.pointwise = Conv2d(in_channels, out_channels, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.pointwise(self.depthwise(x))
+
+
+class SpatialBottleneckConv2d(Module):
+    """Spatial bottlenecking (§5.3): stride over H and W, convolve, upsample.
+
+    The paper shows this operator is the composition
+    ``interchange -> bottleneck(H) -> interchange -> bottleneck(W) -> interchange``;
+    at the network level it computes the convolution on a grid reduced by
+    ``factor`` in each spatial dimension and restores the resolution with
+    nearest-neighbour upsampling.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int, *,
+                 stride: int = 1, padding: int = 0, factor: int = 2,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.factor = factor
+        self.conv = Conv2d(in_channels, out_channels, kernel_size,
+                           stride=stride * factor, padding=padding, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        reduced = self.conv(x)
+        return ops.upsample_nearest2d(reduced, self.factor)
+
+
+@dataclass(frozen=True)
+class ConvTransformConfig:
+    """Parameters of a derived convolution operator.
+
+    The unified search space manipulates loop nests; this dataclass is the
+    network-level summary of the resulting operator so it can be
+    instantiated as a trainable module for Fisher / accuracy evaluation.
+
+    ``group_factors`` may contain several factors: the output channels are
+    split evenly and each split is grouped by its own factor (this is how
+    the paper's Sequence 3 — ``split -> group -> interchange -> group`` —
+    materialises as an operator).
+    """
+
+    bottleneck_out: int = 1
+    bottleneck_in: int = 1
+    spatial_bottleneck: int = 1
+    group_factors: tuple[int, ...] = (1,)
+    unroll: int = 1  # schedule-only; kept so sequences round-trip losslessly
+
+    def compute_reduction(self) -> float:
+        """Approximate factor by which multiply-accumulates are reduced."""
+        group_reduction = len(self.group_factors) / sum(1.0 / g for g in self.group_factors)
+        return (
+            self.bottleneck_out
+            * self.bottleneck_in
+            * self.spatial_bottleneck ** 2
+            * group_reduction
+        )
+
+    def describe(self) -> str:
+        parts = []
+        if self.bottleneck_out > 1:
+            parts.append(f"bottleneck_out={self.bottleneck_out}")
+        if self.bottleneck_in > 1:
+            parts.append(f"bottleneck_in={self.bottleneck_in}")
+        if self.spatial_bottleneck > 1:
+            parts.append(f"spatial={self.spatial_bottleneck}")
+        if any(g > 1 for g in self.group_factors):
+            parts.append(f"groups={list(self.group_factors)}")
+        return "standard" if not parts else ", ".join(parts)
+
+
+class DerivedConv2d(Module):
+    """A convolution operator synthesised by the unified transformation space.
+
+    The module composes input-channel bottlenecking, spatial bottlenecking,
+    per-split grouping and output-channel bottlenecking, preserving the
+    interface of the standard convolution it replaces.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int, *,
+                 stride: int = 1, padding: int = 0,
+                 config: ConvTransformConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or make_rng()
+        self.config = config or ConvTransformConfig()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+        cfg = self.config
+        _check_divisible(in_channels, cfg.bottleneck_in, "in_channels")
+        _check_divisible(out_channels, cfg.bottleneck_out, "out_channels")
+        effective_in = in_channels // cfg.bottleneck_in
+        effective_out = out_channels // cfg.bottleneck_out
+
+        n_splits = len(cfg.group_factors)
+        _check_divisible(effective_out, n_splits, "split out_channels")
+        split_out = effective_out // n_splits
+        self.splits = []
+        for index, group in enumerate(cfg.group_factors):
+            if effective_in % group != 0 or split_out % group != 0:
+                raise ModelError(
+                    f"group factor {group} does not divide channels "
+                    f"({effective_in}->{split_out}) of split {index}"
+                )
+            conv = Conv2d(effective_in, split_out, kernel_size,
+                          stride=stride * cfg.spatial_bottleneck, padding=padding,
+                          groups=group, rng=rng)
+            self.splits.append(conv)
+            setattr(self, f"split{index}", conv)
+
+        self.expand: Conv2d | None = None
+        if cfg.bottleneck_out > 1:
+            self.expand = Conv2d(effective_out, out_channels, 1, rng=rng)
+
+    @property
+    def effective_in_channels(self) -> int:
+        return self.in_channels // self.config.bottleneck_in
+
+    def forward(self, x: Tensor) -> Tensor:
+        cfg = self.config
+        if cfg.bottleneck_in > 1:
+            x = x[:, : self.effective_in_channels, :, :]
+        pieces = [conv(x) for conv in self.splits]
+        out = pieces[0] if len(pieces) == 1 else concat(pieces, axis=1)
+        if cfg.spatial_bottleneck > 1:
+            out = ops.upsample_nearest2d(out, cfg.spatial_bottleneck)
+        if self.expand is not None:
+            out = self.expand(out)
+        return out
+
+    def flops(self, input_hw: tuple[int, int]) -> int:
+        """Multiply-accumulate count for one image, across all internal convs."""
+        total = sum(conv.flops(input_hw) for conv in self.splits)
+        if self.expand is not None:
+            h, w = input_hw
+            oh = ops.conv_output_size(h, self.kernel_size, self.stride, self.padding)
+            ow = ops.conv_output_size(w, self.kernel_size, self.stride, self.padding)
+            total += self.expand.flops((oh, ow))
+        return total
+
+
+#: Candidate operator builders offered to the NAS baselines (BlockSwap /
+#: FBNet).  Each maps a standard convolution signature to a replacement
+#: module; the unified search is *not* limited to this list.
+def build_candidate(kind: str, in_channels: int, out_channels: int, kernel_size: int, *,
+                    stride: int = 1, padding: int = 0,
+                    rng: np.random.Generator | None = None) -> Module:
+    """Instantiate a named NAS candidate operator.
+
+    Supported kinds: ``standard``, ``group2``, ``group4``, ``bottleneck2``,
+    ``bottleneck4``, ``depthwise`` and ``spatial2``.
+    """
+    builders = {
+        "standard": lambda: Conv2d(in_channels, out_channels, kernel_size,
+                                   stride=stride, padding=padding, rng=rng),
+        "group2": lambda: GroupedConv2d(in_channels, out_channels, kernel_size,
+                                        stride=stride, padding=padding, groups=2, rng=rng),
+        "group4": lambda: GroupedConv2d(in_channels, out_channels, kernel_size,
+                                        stride=stride, padding=padding, groups=4, rng=rng),
+        "bottleneck2": lambda: BottleneckConv2d(in_channels, out_channels, kernel_size,
+                                                stride=stride, padding=padding, factor=2,
+                                                rng=rng),
+        "bottleneck4": lambda: BottleneckConv2d(in_channels, out_channels, kernel_size,
+                                                stride=stride, padding=padding, factor=4,
+                                                rng=rng),
+        "depthwise": lambda: DepthwiseSeparableConv2d(in_channels, out_channels, kernel_size,
+                                                      stride=stride, padding=padding, rng=rng),
+        "spatial2": lambda: SpatialBottleneckConv2d(in_channels, out_channels, kernel_size,
+                                                    stride=stride, padding=padding, factor=2,
+                                                    rng=rng),
+    }
+    if kind not in builders:
+        raise ModelError(f"unknown candidate operator kind '{kind}'")
+    return builders[kind]()
+
+
+CANDIDATE_KINDS: tuple[str, ...] = (
+    "standard", "group2", "group4", "bottleneck2", "bottleneck4", "depthwise", "spatial2",
+)

@@ -1,0 +1,37 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 1) -> float:
+    """Fraction of rows whose true label is among the top-k logits."""
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (N, K) logits, got shape {logits.shape}")
+    top_k = np.argsort(-logits, axis=1)[:, :k]
+    hits = (top_k == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def top1_error(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 error in percent (the unit used by the paper's Figure 3/9)."""
+    return 100.0 * (1.0 - top_k_accuracy(logits, labels, k=1))
+
+
+class AverageMeter:
+    """Tracks a running average of a scalar (loss, accuracy, ...)."""
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+
+    def update(self, value: float, n: int = 1) -> None:
+        self.total += value * n
+        self.count += n
+
+    @property
+    def average(self) -> float:
+        return self.total / self.count if self.count else 0.0

@@ -1,0 +1,173 @@
+"""Module system: parameter containers with train/eval modes.
+
+The design mirrors the familiar framework idiom (``Module`` owns parameters
+and child modules, ``parameters()`` walks the tree) so the model zoo reads
+naturally, while remaining small enough to audit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a learnable parameter of a module."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network layers and models."""
+
+    def __init__(self) -> None:
+        self._parameters: dict[str, Parameter] = {}
+        self._modules: dict[str, "Module"] = {}
+        self._buffers: dict[str, np.ndarray] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Registration via attribute assignment
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a non-learnable persistent array (e.g. BN running stats)."""
+        self._buffers[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Tree traversal
+    # ------------------------------------------------------------------
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield prefix, self
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_modules(child_prefix)
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}.{name}" if prefix else name), param
+        for name, module in self._modules.items():
+            child_prefix = f"{prefix}.{name}" if prefix else name
+            yield from module.named_parameters(child_prefix)
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def num_parameters(self) -> int:
+        """Total number of learnable scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Modes and gradient management
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # State serialisation (in-memory; used for model interpolation/copies)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for prefix, module in self.named_modules():
+            for buf_name, buf in module._buffers.items():
+                key = f"{prefix}.{buf_name}" if prefix else buf_name
+                state[key] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        for name, param in self.named_parameters():
+            if name in state:
+                param.data = state[name].copy()
+        for prefix, module in self.named_modules():
+            for buf_name, buf in module._buffers.items():
+                key = f"{prefix}.{buf_name}" if prefix else buf_name
+                if key in state:
+                    buf[...] = state[key]
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+
+class Sequential(Module):
+    """Run child modules in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+        for index, layer in enumerate(layers):
+            setattr(self, f"layer{index}", layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+
+class ModuleList(Module):
+    """A list of modules whose parameters are all registered."""
+
+    def __init__(self, modules: list[Module] | None = None):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        index = len(self._items)
+        self._items.append(module)
+        setattr(self, f"item{index}", module)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - containers only
+        raise NotImplementedError("ModuleList is a container and has no forward()")

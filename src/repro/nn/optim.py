@@ -1,0 +1,83 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains its CIFAR-10 models with SGD (momentum), learning rate 0.1
+decayed by 10x at fixed epochs; :class:`SGD` + :class:`MultiStepLR`
+reproduce that recipe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float = 0.1,
+                 momentum: float = 0.9, weight_decay: float = 0.0):
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            velocity *= self.momentum
+            velocity += grad
+            param.data = param.data - self.lr * velocity
+
+
+class MultiStepLR:
+    """Decay the optimizer learning rate by ``gamma`` at given epoch milestones."""
+
+    def __init__(self, optimizer: SGD, milestones: list[int], gamma: float = 0.1):
+        self.optimizer = optimizer
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch and update the learning rate."""
+        self.epoch += 1
+        passed = sum(1 for milestone in self.milestones if self.epoch >= milestone)
+        self.optimizer.lr = self.base_lr * (self.gamma ** passed)
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr
+
+
+class CosineLR:
+    """Cosine-annealed learning rate, used by the FBNet-like baseline."""
+
+    def __init__(self, optimizer: SGD, total_epochs: int, min_lr: float = 0.0):
+        self.optimizer = optimizer
+        self.total_epochs = max(total_epochs, 1)
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        progress = min(self.epoch / self.total_epochs, 1.0)
+        cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
+        self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+    @property
+    def current_lr(self) -> float:
+        return self.optimizer.lr

@@ -1,0 +1,49 @@
+"""Polyhedral model of tensor convolutions (§4-§5.1 of the paper)."""
+
+from repro.poly.affine import AffineExpr, AffineMap
+from repro.poly.domain import Domain, Iterator
+from repro.poly.statement import (
+    CONV_ITERATORS,
+    Access,
+    ConvolutionShape,
+    Statement,
+    convolution_domain,
+    convolution_nest,
+    init_statement,
+    pointwise_convolution_nest,
+)
+from repro.poly.dependence import (
+    DependenceVector,
+    dependence_vectors,
+    has_loop_carried_dependence,
+    parallel_iterators,
+    schedule_preserves_dependences,
+)
+from repro.poly.transforms import (
+    Bottleneck,
+    Depthwise,
+    Fuse,
+    Group,
+    Interchange,
+    NeuralTransformation,
+    Reorder,
+    Reverse,
+    StripMine,
+    Tile,
+    Transformation,
+    apply_sequence,
+)
+from repro.poly.interpreter import execute, execute_reference_convolution
+
+__all__ = [
+    "AffineExpr", "AffineMap", "Domain", "Iterator",
+    "CONV_ITERATORS", "Access", "ConvolutionShape", "Statement",
+    "convolution_domain", "convolution_nest", "init_statement",
+    "pointwise_convolution_nest",
+    "DependenceVector", "dependence_vectors", "has_loop_carried_dependence",
+    "parallel_iterators", "schedule_preserves_dependences",
+    "Bottleneck", "Depthwise", "Fuse", "Group", "Interchange",
+    "NeuralTransformation", "Reorder", "Reverse", "StripMine", "Tile",
+    "Transformation", "apply_sequence",
+    "execute", "execute_reference_convolution",
+]

@@ -1,0 +1,69 @@
+"""Reference interpreter for (possibly transformed) convolution statements.
+
+The interpreter executes a :class:`~repro.poly.statement.Statement` point by
+point over NumPy arrays.  It exists so the test suite can verify, by direct
+execution, that
+
+* classic program transformations preserve every computed value, and
+* neural transformations (bottleneck, group, depthwise) change the values
+  while remaining well-formed programs.
+
+Only small extents are ever interpreted; performance estimation is the job
+of :mod:`repro.hardware`, not of this interpreter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TransformError
+from repro.poly.statement import Statement
+
+
+def _split_accesses(statement: Statement):
+    if len(statement.writes) != 1:
+        raise TransformError("the interpreter supports single-output statements only")
+    output = statement.writes[0]
+    operand_reads = [read for read in statement.reads if read.tensor != output.tensor]
+    return output, operand_reads
+
+
+def execute(statement: Statement, tensors: dict[str, np.ndarray],
+            output_shape: tuple[int, ...]) -> np.ndarray:
+    """Execute a multiply-accumulate statement and return its output tensor.
+
+    ``tensors`` provides the read operands (e.g. ``{"W": ..., "I": ...}``).
+    The output is zero-initialised, mirroring statement S1 of Algorithm 1.
+    Out-of-bounds accesses caused by domain-shrinking transformations are a
+    bug, so they raise rather than being clamped.
+    """
+    output_access, operand_reads = _split_accesses(statement)
+    output = np.zeros(output_shape)
+    for point in statement.domain.points():
+        out_idx = output_access.indices(point)
+        product = 1.0
+        for read in operand_reads:
+            idx = read.indices(point)
+            product *= tensors[read.tensor][idx]
+        output[out_idx] += product
+    return output
+
+
+def execute_reference_convolution(weights: np.ndarray, image: np.ndarray,
+                                  stride: int = 1) -> np.ndarray:
+    """Direct NumPy convolution used as the ground truth in tests.
+
+    ``weights`` has shape (C_out, C_in, K_h, K_w); ``image`` has shape
+    (C_in, H, W); output has shape (C_out, H_out, W_out) with no padding.
+    """
+    c_out, c_in, k_h, k_w = weights.shape
+    _, h, w = image.shape
+    h_out = (h - k_h) // stride + 1
+    w_out = (w - k_w) // stride + 1
+    output = np.zeros((c_out, h_out, w_out))
+    for co in range(c_out):
+        for oh in range(h_out):
+            for ow in range(w_out):
+                patch = image[:, oh * stride:oh * stride + k_h, ow * stride:ow * stride + k_w]
+                output[co, oh, ow] = float((weights[co] * patch).sum())
+    return output

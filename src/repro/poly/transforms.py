@@ -1,0 +1,432 @@
+"""Program transformations over convolution loop nests.
+
+Classic transformations (interchange/reorder, strip-mine, tile, fuse,
+reverse) preserve the computed values and are checked against data
+dependences.  The neural transformations of §5.1 (bottleneck, group,
+depthwise) deliberately change the computed values; their legality is
+deferred to the Fisher-Potential check (``is_neural = True``).
+
+Every transformation rewrites the statement's *domain* and *access maps*
+so that the result is again a plain affine statement — strip-mining, for
+example, replaces iterator ``ci`` with ``ci_o``/``ci_i`` and substitutes
+``ci := factor * ci_o + ci_i`` into every access, which keeps schedules
+affine instead of introducing div/mod.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import LegalityError, TransformError
+from repro.poly.affine import AffineExpr, AffineMap
+from repro.poly.dependence import schedule_preserves_dependences
+from repro.poly.domain import Domain, Iterator
+from repro.poly.statement import Access, Statement
+
+
+@dataclass(frozen=True)
+class Transformation:
+    """Base class: a rewrite of a statement's loop nest."""
+
+    #: True for the NAS transformations whose legality is representational.
+    is_neural: bool = field(default=False, init=False, repr=False)
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__.lower()
+
+    def applicable(self, statement: Statement) -> bool:
+        """Cheap check whether the transformation can be constructed."""
+        try:
+            self.validate(statement)
+            return True
+        except TransformError:
+            return False
+
+    def validate(self, statement: Statement) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def apply(self, statement: Statement) -> Statement:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+def _rewrite_accesses(statement: Statement, mapping: dict[str, AffineExpr]) -> tuple[list[Access], list[Access]]:
+    writes = [Access(a.tensor, a.map.substitute(mapping), True) for a in statement.writes]
+    reads = [Access(a.tensor, a.map.substitute(mapping), False) for a in statement.reads]
+    return writes, reads
+
+
+# ---------------------------------------------------------------------------
+# Classic, semantics-preserving transformations
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Interchange(Transformation):
+    """Swap two loops in the nest (Table 1 ``reorder`` for a pair)."""
+
+    first: str
+    second: str
+
+    def validate(self, statement: Statement) -> None:
+        for name in (self.first, self.second):
+            if name not in statement.domain:
+                raise TransformError(f"interchange: iterator '{name}' not in nest")
+        order = list(statement.domain.names)
+        i, j = order.index(self.first), order.index(self.second)
+        order[i], order[j] = order[j], order[i]
+        if not schedule_preserves_dependences(statement, order):
+            raise LegalityError(
+                f"interchange({self.first},{self.second}) violates a data dependence")
+
+    def apply(self, statement: Statement) -> Statement:
+        self.validate(statement)
+        order = list(statement.domain.names)
+        i, j = order.index(self.first), order.index(self.second)
+        order[i], order[j] = order[j], order[i]
+        return statement.with_domain(statement.domain.reorder(order)).with_schedule(
+            AffineMap.identity(order))
+
+    def describe(self) -> str:
+        return f"interchange({self.first},{self.second})"
+
+
+@dataclass(frozen=True)
+class Reorder(Transformation):
+    """Arbitrary permutation of the loop order (Table 1 ``reorder``)."""
+
+    order: tuple[str, ...]
+
+    def validate(self, statement: Statement) -> None:
+        if sorted(self.order) != sorted(statement.domain.names):
+            raise TransformError(
+                f"reorder {self.order} is not a permutation of {statement.domain.names}")
+        if not schedule_preserves_dependences(statement, list(self.order)):
+            raise LegalityError(f"reorder{self.order} violates a data dependence")
+
+    def apply(self, statement: Statement) -> Statement:
+        self.validate(statement)
+        order = list(self.order)
+        return statement.with_domain(statement.domain.reorder(order)).with_schedule(
+            AffineMap.identity(order))
+
+    def describe(self) -> str:
+        return f"reorder({','.join(self.order)})"
+
+
+@dataclass(frozen=True)
+class Reverse(Transformation):
+    """Reverse one loop's iteration direction.
+
+    Included to exercise the classic legality machinery: reversing a loop
+    that carries a dependence is illegal, which the tests verify.
+    """
+
+    iterator: str
+
+    def validate(self, statement: Statement) -> None:
+        if self.iterator not in statement.domain:
+            raise TransformError(f"reverse: iterator '{self.iterator}' not in nest")
+        from repro.poly.dependence import has_loop_carried_dependence
+
+        if has_loop_carried_dependence(statement, self.iterator):
+            raise LegalityError(
+                f"reverse({self.iterator}) inverts a loop-carried dependence")
+
+    def apply(self, statement: Statement) -> Statement:
+        self.validate(statement)
+        extent = statement.domain.extent(self.iterator)
+        mapping = {self.iterator: AffineExpr.of({self.iterator: -1}, extent - 1)}
+        writes, reads = _rewrite_accesses(statement, mapping)
+        return statement.with_accesses(writes, reads)
+
+    def describe(self) -> str:
+        return f"reverse({self.iterator})"
+
+
+@dataclass(frozen=True)
+class StripMine(Transformation):
+    """Split one iterator into an outer/inner pair (Table 1 ``split``).
+
+    ``iterator`` of extent ``N`` becomes ``iterator_o`` (extent ``N /
+    factor``) and ``iterator_i`` (extent ``factor``), with
+    ``iterator := factor * iterator_o + iterator_i`` substituted into all
+    accesses.  Always legal.
+    """
+
+    iterator: str
+    factor: int
+
+    def validate(self, statement: Statement) -> None:
+        if self.iterator not in statement.domain:
+            raise TransformError(f"strip-mine: iterator '{self.iterator}' not in nest")
+        extent = statement.domain.extent(self.iterator)
+        if self.factor <= 0 or extent % self.factor != 0:
+            raise TransformError(
+                f"strip-mine factor {self.factor} does not divide extent {extent} of "
+                f"'{self.iterator}'")
+
+    def apply(self, statement: Statement) -> Statement:
+        self.validate(statement)
+        extent = statement.domain.extent(self.iterator)
+        outer = Iterator(f"{self.iterator}_o", extent // self.factor)
+        inner = Iterator(f"{self.iterator}_i", self.factor)
+        domain = statement.domain.replace(self.iterator, outer, inner)
+        mapping = {self.iterator: AffineExpr.of({outer.name: self.factor, inner.name: 1})}
+        writes, reads = _rewrite_accesses(statement, mapping)
+        return (statement.with_domain(domain)
+                .with_accesses(writes, reads)
+                .with_schedule(AffineMap.identity(list(domain.names))))
+
+    def describe(self) -> str:
+        return f"split({self.iterator},{self.factor})"
+
+
+@dataclass(frozen=True)
+class Tile(Transformation):
+    """Strip-mine followed by hoisting the outer iterator to the front.
+
+    This is the combined transformation described in §4 (strip-mining +
+    interchange), i.e. cache/register blocking (Table 1 ``tile``).
+    """
+
+    iterator: str
+    factor: int
+
+    def validate(self, statement: Statement) -> None:
+        StripMine(self.iterator, self.factor).validate(statement)
+
+    def apply(self, statement: Statement) -> Statement:
+        stripped = StripMine(self.iterator, self.factor).apply(statement)
+        outer_name = f"{self.iterator}_o"
+        order = [outer_name] + [n for n in stripped.domain.names if n != outer_name]
+        if not schedule_preserves_dependences(stripped, order):
+            raise LegalityError(f"tile({self.iterator},{self.factor}) violates a dependence")
+        return (stripped.with_domain(stripped.domain.reorder(order))
+                .with_schedule(AffineMap.identity(order)))
+
+    def describe(self) -> str:
+        return f"tile({self.iterator},{self.factor})"
+
+
+@dataclass(frozen=True)
+class Fuse(Transformation):
+    """Fuse two adjacent iterators into one (Table 1 ``fuse``).
+
+    The two iterators must be adjacent in the loop order; the fused
+    iterator has extent ``extent(first) * extent(second)`` and original
+    iterators are recovered as ``first = fused / extent(second)``,
+    ``second = fused mod extent(second)``.  Because accesses must stay
+    affine, fusion is expressed by keeping the fused iterator and
+    substituting ``first := 0`` shifts only when both accesses use the
+    iterators linearly; in practice the convolution nests fuse iterators
+    that appear in separate access dimensions, so we instead relabel the
+    pair as a single iterator whose extent is the product and rewrite the
+    accesses with the quotient/remainder decomposition folded into new
+    iterator names.
+    """
+
+    first: str
+    second: str
+
+    def validate(self, statement: Statement) -> None:
+        names = list(statement.domain.names)
+        for name in (self.first, self.second):
+            if name not in names:
+                raise TransformError(f"fuse: iterator '{name}' not in nest")
+        i, j = names.index(self.first), names.index(self.second)
+        if j != i + 1:
+            raise TransformError(
+                f"fuse: iterators '{self.first}' and '{self.second}' must be adjacent")
+
+    def apply(self, statement: Statement) -> Statement:
+        """Fusion at this level is the inverse of strip-mining.
+
+        The fused statement is represented with the pair replaced by a
+        single iterator; accesses that referenced the inner iterator keep
+        their stride through the substitution ``first -> fused // extent_i``
+        which is affine only when the original pair came from a prior
+        strip-mine.  We therefore only fuse pairs that the access maps use
+        with the pattern ``first * extent(second) + second`` (or use each
+        iterator independently), which covers the sequences explored in the
+        paper (``fuse`` directly after ``split``/``interchange``).
+        """
+        self.validate(statement)
+        extent_outer = statement.domain.extent(self.first)
+        extent_inner = statement.domain.extent(self.second)
+        fused_name = f"{self.first}{self.second}_f"
+        fused = Iterator(fused_name, extent_outer * extent_inner)
+        # first := fused // extent_inner, second := fused mod extent_inner.
+        # To stay affine we verify every access uses the linear combination
+        # first*extent_inner + second or a single one of the iterators with
+        # the other absent; in the latter case the access becomes
+        # non-affine, so we reject.
+        combo_ok = True
+        for access in statement.accesses:
+            for expr in access.map.exprs:
+                c_first = expr.coeff(self.first)
+                c_second = expr.coeff(self.second)
+                if c_first == 0 and c_second == 0:
+                    continue
+                if c_second != 0 and c_first == c_second * extent_inner:
+                    continue
+                if c_first == 0 and c_second != 0 and extent_outer == 1:
+                    continue
+                if c_second == 0 and c_first != 0 and extent_inner == 1:
+                    continue
+                combo_ok = False
+        if not combo_ok:
+            raise TransformError(
+                f"fuse({self.first},{self.second}) would produce a non-affine access")
+        domain = statement.domain.replace(self.first, fused).drop(self.second)
+        mapping = {
+            self.first: AffineExpr.constant(0),
+            self.second: AffineExpr.var(fused_name),
+        }
+        writes, reads = _rewrite_accesses(statement, mapping)
+        return (statement.with_domain(domain)
+                .with_accesses(writes, reads)
+                .with_schedule(AffineMap.identity(list(domain.names))))
+
+    def describe(self) -> str:
+        return f"fuse({self.first},{self.second})"
+
+
+# ---------------------------------------------------------------------------
+# Neural (representation-preserving, not semantics-preserving) transformations
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class NeuralTransformation(Transformation):
+    """Base class for the §5.1 transformations checked by Fisher Potential."""
+
+    is_neural: bool = field(default=True, init=False, repr=False)
+
+
+@dataclass(frozen=True)
+class Bottleneck(NeuralTransformation):
+    """Shrink one iterator's extent by ``factor`` (§5.1 Bottlenecking).
+
+    Applied to ``co`` this is classic output bottlenecking; applied to
+    ``ci`` after an interchange it yields the input-channel bottlenecking of
+    §2.3; applied to the spatial iterators it builds spatial bottlenecking
+    (§5.3).
+    """
+
+    iterator: str
+    factor: int
+
+    def validate(self, statement: Statement) -> None:
+        if self.iterator not in statement.domain:
+            raise TransformError(f"bottleneck: iterator '{self.iterator}' not in nest")
+        extent = statement.domain.extent(self.iterator)
+        if self.factor <= 1:
+            raise TransformError("bottleneck factor must be greater than 1")
+        if extent % self.factor != 0:
+            raise TransformError(
+                f"bottleneck: factor {self.factor} does not divide extent {extent} "
+                f"(constraint C (mod B) == 0)")
+
+    def apply(self, statement: Statement) -> Statement:
+        self.validate(statement)
+        extent = statement.domain.extent(self.iterator)
+        return statement.with_domain(
+            statement.domain.restrict(self.iterator, extent // self.factor))
+
+    def describe(self) -> str:
+        return f"bottleneck({self.iterator},{self.factor})"
+
+
+@dataclass(frozen=True)
+class Group(NeuralTransformation):
+    """Grouping (§5.1): tile ``co`` and ``ci`` by G and share the group index.
+
+    The two outer iterators are tiled by a common factor and one of the new
+    outer iterators is discarded; each group convolves only its own slice
+    of the input and weights (Algorithm 2).
+    """
+
+    factor: int
+    outer: str = "co"
+    inner: str = "ci"
+
+    def validate(self, statement: Statement) -> None:
+        if self.factor <= 1:
+            raise TransformError("group factor must be greater than 1")
+        for name in (self.outer, self.inner):
+            if name not in statement.domain:
+                raise TransformError(f"group: iterator '{name}' not in nest")
+            if statement.domain.extent(name) % self.factor != 0:
+                raise TransformError(
+                    f"group: factor {self.factor} does not divide extent of '{name}'")
+
+    def apply(self, statement: Statement) -> Statement:
+        self.validate(statement)
+        domain = statement.domain
+        outer_extent = domain.extent(self.outer) // self.factor
+        inner_extent = domain.extent(self.inner) // self.factor
+        group_it = Iterator("g", self.factor)
+        outer_it = Iterator(f"{self.outer}_g", outer_extent)
+        inner_it = Iterator(f"{self.inner}_g", inner_extent)
+        new_domain = (domain.replace(self.outer, outer_it)
+                      .replace(self.inner, inner_it)
+                      .prepend(group_it))
+        mapping = {
+            self.outer: AffineExpr.of({"g": outer_extent, outer_it.name: 1}),
+            self.inner: AffineExpr.of({"g": inner_extent, inner_it.name: 1}),
+        }
+        writes, reads = _rewrite_accesses(statement, mapping)
+        return (statement.with_domain(new_domain)
+                .with_accesses(writes, reads)
+                .with_schedule(AffineMap.identity(list(new_domain.names))))
+
+    def describe(self) -> str:
+        return f"group({self.factor})"
+
+
+@dataclass(frozen=True)
+class Depthwise(NeuralTransformation):
+    """Depthwise convolution (§5.1): grouping with G = C_o = C_i.
+
+    Requires equal input and output channel extents; the strip counts of
+    the inner pair collapse to 1 and the simplified nest of Algorithm 3
+    remains.
+    """
+
+    outer: str = "co"
+    inner: str = "ci"
+
+    def validate(self, statement: Statement) -> None:
+        for name in (self.outer, self.inner):
+            if name not in statement.domain:
+                raise TransformError(f"depthwise: iterator '{name}' not in nest")
+        if statement.domain.extent(self.outer) != statement.domain.extent(self.inner):
+            raise TransformError(
+                "depthwise requires equal input and output channel counts "
+                f"({statement.domain.extent(self.outer)} != {statement.domain.extent(self.inner)})")
+
+    def apply(self, statement: Statement) -> Statement:
+        self.validate(statement)
+        factor = statement.domain.extent(self.outer)
+        grouped = Group(factor, self.outer, self.inner).apply(statement)
+        # The per-group extents are 1; drop the trivially sized iterators.
+        domain = grouped.domain
+        mapping: dict[str, AffineExpr] = {}
+        for name in (f"{self.outer}_g", f"{self.inner}_g"):
+            mapping[name] = AffineExpr.constant(0)
+            domain = domain.drop(name)
+        writes, reads = _rewrite_accesses(grouped, mapping)
+        return (grouped.with_domain(domain)
+                .with_accesses(writes, reads)
+                .with_schedule(AffineMap.identity(list(domain.names))))
+
+    def describe(self) -> str:
+        return "depthwise()"
+
+
+def apply_sequence(statement: Statement, transformations: Sequence[Transformation]) -> Statement:
+    """Apply a sequence of transformations left to right."""
+    for transformation in transformations:
+        statement = transformation.apply(statement)
+    return statement

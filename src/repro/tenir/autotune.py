@@ -1,0 +1,234 @@
+"""Schedule auto-tuning (the reproduction of TVM's parameter auto-tuner).
+
+The paper uses TVM's default schedules per device and enables auto-tuning
+of the parameter values inside those schedules (§6, "Baseline TVM").  This
+module provides the equivalent: parameterised CPU and GPU schedule
+templates over an arbitrary convolution-like loop nest, plus a random
+search over the template parameters evaluated with the analytic cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.hardware.cost_model import LatencyEstimate, estimate_latency
+from repro.hardware.platform import PlatformSpec
+from repro.tenir.expr import Computation
+from repro.tenir.lower import LoweredNest, lower
+from repro.tenir.schedule import Stage, create_schedule
+from repro.utils import divisors, make_rng
+
+
+# ---------------------------------------------------------------------------
+# Loop classification
+# ---------------------------------------------------------------------------
+def classify_loops(stage: Stage) -> dict[str, list[str]]:
+    """Split the loop nest into output-parallel and reduction iterators.
+
+    Output-parallel iterators index the written tensor (they can be mapped
+    to threads / cores); reduction iterators only feed the accumulation.
+    """
+    statement = stage.statement
+    write_vars: set[str] = set()
+    for access in statement.writes:
+        for expr in access.map.exprs:
+            write_vars.update(expr.variables)
+    parallel = [name for name in statement.domain.names if name in write_vars]
+    reduction = [name for name in statement.domain.names if name not in write_vars]
+    return {"parallel": parallel, "reduction": reduction}
+
+
+def _innermost_spatial(stage: Stage, categories: dict[str, list[str]]) -> str:
+    """The output-parallel iterator with unit stride in the output tensor."""
+    nest = lower(stage)
+    write = next(acc for acc in nest.accesses if acc.is_write)
+    best = categories["parallel"][-1]
+    best_stride = None
+    for name in categories["parallel"]:
+        stride = abs(write.stride_of(name))
+        if stride == 0:
+            continue
+        if best_stride is None or stride < best_stride:
+            best, best_stride = name, stride
+    return best
+
+
+def _pick_factor(extent: int, limit: int, rng: np.random.Generator) -> int:
+    """A random divisor of ``extent`` no larger than ``limit`` (at least 1)."""
+    options = [d for d in divisors(extent) if d <= limit]
+    return int(rng.choice(options)) if options else 1
+
+
+# ---------------------------------------------------------------------------
+# Schedule templates
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScheduleParameters:
+    """Sampled parameter values for one schedule-template instantiation."""
+
+    spatial_tile: int = 8
+    channel_tile: int = 4
+    unroll: int = 4
+    threads: int = 32
+    use_vthread: bool = False
+
+    def describe(self) -> str:
+        return (f"tile_spatial={self.spatial_tile}, tile_channel={self.channel_tile}, "
+                f"unroll={self.unroll}, threads={self.threads}, vthread={self.use_vthread}")
+
+
+def sample_parameters(computation: Computation, platform: PlatformSpec,
+                      rng: np.random.Generator) -> ScheduleParameters:
+    """Sample template parameters compatible with the computation's extents."""
+    stage = create_schedule(computation)
+    categories = classify_loops(stage)
+    spatial = _innermost_spatial(stage, categories)
+    spatial_extent = stage.statement.domain.extent(spatial)
+    outer = categories["parallel"][0]
+    outer_extent = stage.statement.domain.extent(outer)
+    return ScheduleParameters(
+        spatial_tile=_pick_factor(spatial_extent, 64, rng),
+        channel_tile=_pick_factor(outer_extent, 32, rng),
+        unroll=int(rng.choice([1, 2, 4, 8])),
+        threads=_pick_factor(spatial_extent * outer_extent, platform.vector_width * 8, rng),
+        use_vthread=bool(rng.random() < 0.5),
+    )
+
+
+def _largest_parallel(stage: Stage, categories: dict[str, list[str]],
+                      exclude: tuple[str, ...] = ()) -> str:
+    """The output-parallel iterator with the largest extent (best to spread)."""
+    candidates = [n for n in categories["parallel"] if n not in exclude]
+    if not candidates:
+        candidates = [n for n in categories["parallel"]]
+    return max(candidates, key=lambda name: stage.statement.domain.extent(name))
+
+
+def cpu_schedule(computation: Computation, params: ScheduleParameters) -> Stage:
+    """The default CPU schedule template: tile, parallelise, vectorise, unroll."""
+    stage = create_schedule(computation)
+    categories = classify_loops(stage)
+    spatial = _innermost_spatial(stage, categories)
+    outer = _largest_parallel(stage, categories, exclude=(spatial,))
+
+    spatial_inner = spatial
+    if params.spatial_tile > 1 and stage.statement.domain.extent(spatial) % params.spatial_tile == 0:
+        _, spatial_inner = stage.split(spatial, params.spatial_tile)
+    outer_name = outer
+    if (outer != spatial and params.channel_tile > 1
+            and stage.statement.domain.extent(outer) % params.channel_tile == 0):
+        outer_name, _ = stage.split(outer, params.channel_tile)
+
+    # Hoist the parallel loop to the front, sink the vector loop to the back.
+    remaining = [n for n in stage.loop_order if n not in (outer_name, spatial_inner)]
+    stage.reorder(outer_name, *remaining, spatial_inner)
+    stage.parallel(outer_name)
+    stage.vectorize(spatial_inner)
+    if params.unroll > 1:
+        reductions = [n for n in classify_loops(stage)["reduction"] if n in stage.loop_order]
+        if reductions:
+            stage.unroll(reductions[-1], params.unroll)
+    return stage
+
+
+def gpu_schedule(computation: Computation, params: ScheduleParameters,
+                 platform: PlatformSpec) -> Stage:
+    """The default GPU schedule template: map output loops to blocks/threads."""
+    stage = create_schedule(computation)
+    categories = classify_loops(stage)
+    spatial = _innermost_spatial(stage, categories)
+    others = sorted((n for n in categories["parallel"] if n != spatial),
+                    key=lambda name: stage.statement.domain.extent(name), reverse=True)
+
+    thread_extent = min(params.threads, platform.vector_width * 8)
+    spatial_extent = stage.statement.domain.extent(spatial)
+    factor = 1
+    for candidate in divisors(spatial_extent):
+        if candidate <= thread_extent:
+            factor = candidate
+    thread_axis = spatial
+    block_axis_spatial = None
+    if factor > 1 and factor < spatial_extent:
+        block_axis_spatial, thread_axis = stage.split(spatial, factor)
+    stage.bind(thread_axis, "threadIdx.x")
+
+    if others:
+        stage.bind(others[0], "blockIdx.x")
+        if len(others) > 1:
+            stage.bind(others[1], "blockIdx.y")
+    if block_axis_spatial is not None:
+        if params.use_vthread:
+            stage.bind(block_axis_spatial, "vthread")
+        elif len(others) < 2:
+            stage.bind(block_axis_spatial, "blockIdx.y")
+    if params.unroll > 1:
+        reductions = [n for n in classify_loops(stage)["reduction"] if n in stage.loop_order]
+        if reductions:
+            stage.unroll(reductions[-1], params.unroll)
+    stage.prefetch(thread_axis)
+    return stage
+
+
+def default_schedule(computation: Computation, platform: PlatformSpec,
+                     params: ScheduleParameters | None = None) -> Stage:
+    """Platform-appropriate default schedule with default parameter values."""
+    params = params or ScheduleParameters()
+    if platform.is_gpu:
+        return gpu_schedule(computation, params, platform)
+    return cpu_schedule(computation, params)
+
+
+def naive_schedule(computation: Computation) -> Stage:
+    """The untransformed textual loop order, used as a worst-case reference."""
+    return create_schedule(computation)
+
+
+# ---------------------------------------------------------------------------
+# The tuner
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of auto-tuning one operator on one platform."""
+
+    stage: Stage
+    nest: LoweredNest
+    estimate: LatencyEstimate
+    parameters: ScheduleParameters
+    trials: int
+
+    @property
+    def seconds(self) -> float:
+        return self.estimate.seconds
+
+
+class AutoTuner:
+    """Random search over schedule-template parameters."""
+
+    def __init__(self, trials: int = 16, seed: int | None = None):
+        if trials < 1:
+            raise ScheduleError("the tuner needs at least one trial")
+        self.trials = trials
+        self.seed = seed
+
+    def tune(self, computation: Computation, platform: PlatformSpec) -> TuningResult:
+        """Return the best schedule found for ``computation`` on ``platform``."""
+        rng = make_rng(self.seed)
+        best: TuningResult | None = None
+        for trial in range(self.trials):
+            params = (ScheduleParameters() if trial == 0
+                      else sample_parameters(computation, platform, rng))
+            try:
+                stage = default_schedule(computation, platform, params)
+            except ScheduleError:
+                continue
+            nest = lower(stage)
+            estimate = estimate_latency(nest, platform)
+            candidate = TuningResult(stage, nest, estimate, params, self.trials)
+            if best is None or candidate.seconds < best.seconds:
+                best = candidate
+        if best is None:
+            raise ScheduleError("auto-tuning failed to produce a single valid schedule")
+        return best

@@ -1,0 +1,82 @@
+"""Tensor-expression layer: operator descriptions the scheduler consumes.
+
+This is the reproduction's analogue of TVM's Tensor Expression language:
+an operator is described declaratively (einsum-style) as a loop domain plus
+affine accesses, and the schedule applied to it is a separate object
+(:mod:`repro.tenir.schedule`).  The descriptions are backed directly by the
+polyhedral :class:`~repro.poly.statement.Statement` so the compiler and the
+formal model never diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LoweringError
+from repro.poly.statement import ConvolutionShape, Statement, convolution_nest
+from repro.poly.transforms import Depthwise, Group
+
+
+@dataclass(frozen=True)
+class Computation:
+    """A tensor operator: a named statement plus element size in bytes.
+
+    ``macs`` is the multiply-accumulate count implied by the statement's
+    iteration domain — the quantity every cost model starts from.
+    """
+
+    name: str
+    statement: Statement
+    element_bytes: int = 4
+    source_shape: ConvolutionShape | None = None
+
+    @property
+    def macs(self) -> int:
+        return self.statement.domain.cardinality()
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.statement.domain}"
+
+
+def conv2d_compute(shape: ConvolutionShape, name: str = "conv2d",
+                   element_bytes: int = 4) -> Computation:
+    """Standard tensor convolution (Figure 1 row 2) as a computation."""
+    return Computation(name, convolution_nest(shape), element_bytes, shape)
+
+
+def grouped_conv2d_compute(shape: ConvolutionShape, groups: int, name: str = "grouped_conv2d",
+                           element_bytes: int = 4) -> Computation:
+    """Grouped convolution obtained by applying the grouping transformation."""
+    if groups <= 1:
+        return conv2d_compute(shape, name, element_bytes)
+    statement = Group(groups).apply(convolution_nest(shape))
+    return Computation(name, statement, element_bytes, shape)
+
+
+def depthwise_conv2d_compute(shape: ConvolutionShape, name: str = "depthwise_conv2d",
+                             element_bytes: int = 4) -> Computation:
+    """Depthwise convolution (requires C_out == C_in)."""
+    if shape.c_out != shape.c_in:
+        raise LoweringError("depthwise convolution requires C_out == C_in")
+    statement = Depthwise().apply(convolution_nest(shape))
+    return Computation(name, statement, element_bytes, shape)
+
+
+def dense_compute(rows: int, cols: int, inner: int, name: str = "dense",
+                  element_bytes: int = 4) -> Computation:
+    """Matrix multiplication, used by the classifier head and in tests."""
+    from repro.poly.affine import AffineExpr, AffineMap
+    from repro.poly.domain import Domain
+    from repro.poly.statement import Access
+
+    domain = Domain.of(i=rows, j=cols, k=inner)
+    output = Access("O", AffineMap((AffineExpr.var("i"), AffineExpr.var("j"))), is_write=True)
+    lhs = Access("A", AffineMap((AffineExpr.var("i"), AffineExpr.var("k"))))
+    rhs = Access("B", AffineMap((AffineExpr.var("k"), AffineExpr.var("j"))))
+    output_read = Access("O", output.map, is_write=False)
+    statement = Statement.create(name, domain, writes=[output], reads=[lhs, rhs, output_read])
+    return Computation(name, statement, element_bytes)

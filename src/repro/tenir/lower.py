@@ -1,0 +1,173 @@
+"""Lowering: from a scheduled stage to an explicit loop-nest description.
+
+The :class:`LoweredNest` is the object the hardware models consume.  It
+records, for every loop, its extent and schedule annotations, and for every
+tensor access, the information needed for locality analysis:
+
+* the flattened element stride of each loop iterator in that tensor
+  (row-major layout inferred from the access ranges), used for
+  vectorization and coalescing quality, and
+* the data footprint touched by any suffix of the loop nest, used by the
+  cache-reuse traffic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LoweringError
+from repro.poly.affine import AffineMap
+from repro.poly.statement import Access
+from repro.tenir.schedule import LoopAnnotation, Stage
+from repro.utils import prod
+
+
+@dataclass(frozen=True)
+class LoweredLoop:
+    """One loop of the lowered nest, outermost first."""
+
+    name: str
+    extent: int
+    annotation: LoopAnnotation
+
+
+@dataclass(frozen=True)
+class LoweredAccess:
+    """One tensor access with layout information."""
+
+    tensor: str
+    is_write: bool
+    #: extent of each tensor dimension as implied by the access over the domain
+    dim_extents: tuple[int, ...]
+    #: flattened (row-major) element stride contributed by each loop iterator
+    iterator_strides: dict[str, int]
+    #: per-dimension (coefficient, extent) of each iterator (for footprint analysis)
+    dim_coefficients: tuple[dict[str, tuple[int, int]], ...]
+
+    def footprint(self, varying: set[str]) -> int:
+        """Number of distinct elements touched while ``varying`` iterators sweep."""
+        total = 1
+        for dim, coeffs in enumerate(self.dim_coefficients):
+            span = 1
+            for name, (coeff, extent) in coeffs.items():
+                if name in varying:
+                    span += abs(coeff) * (extent - 1)
+            total *= min(span, self.dim_extents[dim])
+        return total
+
+    def stride_of(self, iterator: str) -> int:
+        return self.iterator_strides.get(iterator, 0)
+
+    @property
+    def total_elements(self) -> int:
+        return prod(self.dim_extents)
+
+
+@dataclass(frozen=True)
+class LoweredNest:
+    """A fully lowered, scheduled loop nest ready for cost estimation."""
+
+    name: str
+    loops: tuple[LoweredLoop, ...]
+    accesses: tuple[LoweredAccess, ...]
+    macs: int
+    element_bytes: int
+    history: tuple[str, ...] = ()
+
+    @property
+    def loop_names(self) -> tuple[str, ...]:
+        return tuple(loop.name for loop in self.loops)
+
+    @property
+    def innermost(self) -> LoweredLoop:
+        return self.loops[-1]
+
+    def loop(self, name: str) -> LoweredLoop:
+        for candidate in self.loops:
+            if candidate.name == name:
+                return candidate
+        raise LoweringError(f"loop '{name}' not in lowered nest {self.loop_names}")
+
+    def varying_iterators_from(self, depth: int) -> set[str]:
+        """Iterator names at ``depth`` and deeper (0 = outermost)."""
+        return {loop.name for loop in self.loops[depth:]}
+
+    def footprint_bytes(self, depth: int) -> int:
+        """Total data footprint (bytes) of the sub-nest starting at ``depth``."""
+        varying = self.varying_iterators_from(depth)
+        unique_tensors: dict[str, int] = {}
+        for access in self.accesses:
+            footprint = access.footprint(varying)
+            unique_tensors[access.tensor] = max(unique_tensors.get(access.tensor, 0), footprint)
+        return sum(unique_tensors.values()) * self.element_bytes
+
+    def total_data_bytes(self) -> int:
+        """Unique bytes touched by the whole nest (compulsory traffic)."""
+        return self.footprint_bytes(0)
+
+    def bound_extent(self, thread_tag_prefix: str) -> int:
+        """Product of extents of loops bound to tags starting with ``prefix``."""
+        total = 1
+        for loop in self.loops:
+            if loop.annotation.bind and loop.annotation.bind.startswith(thread_tag_prefix):
+                total *= loop.extent
+        return total
+
+
+def _analyse_access(access: Access, domain_extents: dict[str, int]) -> LoweredAccess:
+    dim_extents: list[int] = []
+    dim_coefficients: list[dict[str, tuple[int, int]]] = []
+    for expr in access.map.exprs:
+        span = 1 + expr.const
+        coeffs: dict[str, tuple[int, int]] = {}
+        for name in expr.variables:
+            coeff = expr.coeff(name)
+            extent = domain_extents[name]
+            coeffs[name] = (coeff, extent)
+            span += abs(coeff) * (extent - 1)
+        dim_extents.append(max(span, 1))
+        dim_coefficients.append(coeffs)
+
+    # Row-major strides of the tensor dimensions.
+    dim_strides = [1] * len(dim_extents)
+    for dim in range(len(dim_extents) - 2, -1, -1):
+        dim_strides[dim] = dim_strides[dim + 1] * dim_extents[dim + 1]
+
+    iterator_strides: dict[str, int] = {}
+    for dim, coeffs in enumerate(dim_coefficients):
+        for name, (coeff, _extent) in coeffs.items():
+            iterator_strides[name] = iterator_strides.get(name, 0) + coeff * dim_strides[dim]
+
+    return LoweredAccess(
+        tensor=access.tensor,
+        is_write=access.is_write,
+        dim_extents=tuple(dim_extents),
+        iterator_strides=iterator_strides,
+        dim_coefficients=tuple(dim_coefficients),
+    )
+
+
+def lower(stage: Stage) -> LoweredNest:
+    """Lower a scheduled stage to an explicit nest description."""
+    statement = stage.statement
+    domain_extents = {it.name: it.extent for it in statement.domain.iterators}
+    loops = tuple(
+        LoweredLoop(it.name, it.extent, stage.annotations.get(it.name, LoopAnnotation()))
+        for it in statement.domain.iterators
+    )
+    seen: set[tuple[str, bool, str]] = set()
+    accesses: list[LoweredAccess] = []
+    for access in statement.accesses:
+        key = (access.tensor, access.is_write, str(access.map))
+        if key in seen:
+            continue
+        seen.add(key)
+        accesses.append(_analyse_access(access, domain_extents))
+    return LoweredNest(
+        name=stage.computation.name,
+        loops=loops,
+        accesses=tuple(accesses),
+        macs=statement.domain.cardinality(),
+        element_bytes=stage.computation.element_bytes,
+        history=tuple(stage.history),
+    )

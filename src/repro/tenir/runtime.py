@@ -1,0 +1,44 @@
+"""Functional execution of scheduled computations.
+
+Schedule annotations never change computed values, so executing a scheduled
+stage reduces to interpreting its (transformed) statement.  The runtime is
+used by tests to confirm that program-transformation schedules are
+value-preserving and that neural transformations change values in the
+expected structured way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LoweringError
+from repro.poly.interpreter import execute
+from repro.tenir.expr import Computation
+from repro.tenir.lower import lower
+from repro.tenir.schedule import Stage
+
+
+def output_shape(stage_or_computation: Stage | Computation) -> tuple[int, ...]:
+    """Shape of the written tensor implied by the (possibly transformed) nest."""
+    if isinstance(stage_or_computation, Stage):
+        nest = lower(stage_or_computation)
+    else:
+        nest = lower(Stage(stage_or_computation))
+    writes = [access for access in nest.accesses if access.is_write]
+    if not writes:
+        raise LoweringError("the computation has no output tensor")
+    return writes[0].dim_extents
+
+
+def run(stage: Stage, tensors: dict[str, np.ndarray],
+        output_dims: tuple[int, ...] | None = None) -> np.ndarray:
+    """Execute a scheduled stage over concrete operand arrays."""
+    dims = output_dims or output_shape(stage)
+    return execute(stage.statement, tensors, dims)
+
+
+def run_computation(computation: Computation, tensors: dict[str, np.ndarray],
+                    output_dims: tuple[int, ...] | None = None) -> np.ndarray:
+    """Execute an unscheduled computation (textual loop order)."""
+    stage = Stage(computation)
+    return run(stage, tensors, output_dims)

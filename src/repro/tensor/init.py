@@ -1,0 +1,39 @@
+"""Weight initialisers used by the neural-network layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import make_rng, prod
+
+
+def kaiming_normal(shape: tuple[int, ...], *, fan_in: int | None = None,
+                   rng: np.random.Generator | None = None) -> np.ndarray:
+    """He-normal initialisation suited to ReLU networks.
+
+    ``fan_in`` defaults to the product of all but the first dimension, which
+    matches the convention for both conv weights ``(C_out, C_in, KH, KW)``
+    and linear weights ``(out, in)``.
+    """
+    rng = rng or make_rng()
+    if fan_in is None:
+        fan_in = prod(shape[1:]) if len(shape) > 1 else shape[0]
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, ...], *, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Glorot-uniform initialisation."""
+    rng = rng or make_rng()
+    fan_in = prod(shape[1:]) if len(shape) > 1 else shape[0]
+    fan_out = shape[0]
+    limit = np.sqrt(6.0 / max(fan_in + fan_out, 1))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape)

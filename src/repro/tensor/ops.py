@@ -1,0 +1,310 @@
+"""Neural-network operations built on the autograd :class:`Tensor`.
+
+The convolution family implemented here mirrors the operators discussed in
+the paper (standard, grouped, bottlenecked and depthwise convolutions are
+all expressed through :func:`conv2d` with appropriate ``groups`` and channel
+counts).  Convolutions use im2col + matmul so that forward and backward
+passes over the NumPy substrate stay fast enough for the experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.tensor import Tensor, pad2d
+
+__all__ = [
+    "linear",
+    "conv2d",
+    "batch_norm2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "softmax",
+    "log_softmax",
+    "cross_entropy",
+    "dropout",
+    "upsample_nearest2d",
+    "im2col",
+    "col2im",
+    "conv_output_size",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+# ---------------------------------------------------------------------------
+# im2col / col2im
+# ---------------------------------------------------------------------------
+def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int, padding: int) -> np.ndarray:
+    """Rearrange image patches into columns.
+
+    Input ``x`` has shape ``(N, C, H, W)``; the result has shape
+    ``(N, C, KH, KW, OH, OW)``.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    cols = np.empty((n, c, kh, kw, oh, ow), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+    return cols
+
+
+def col2im(cols: np.ndarray, input_shape: tuple[int, int, int, int],
+           kernel: tuple[int, int], stride: int, padding: int) -> np.ndarray:
+    """Inverse of :func:`im2col` (accumulating overlapping patches)."""
+    n, c, h, w = input_shape
+    kh, kw = kernel
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+# ---------------------------------------------------------------------------
+# Dense / linear
+# ---------------------------------------------------------------------------
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` for ``x`` of shape ``(N, in)``."""
+    out = x @ weight.transpose((1, 0))
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Convolution
+# ---------------------------------------------------------------------------
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None, *,
+           stride: int = 1, padding: int = 0, groups: int = 1) -> Tensor:
+    """2-D convolution over NCHW input.
+
+    ``weight`` has shape ``(C_out, C_in // groups, KH, KW)``.  Grouped and
+    depthwise convolutions are expressed through ``groups``.
+    """
+    n, c_in, h, w = x.shape
+    c_out, c_in_group, kh, kw = weight.shape
+    if c_in % groups != 0 or c_out % groups != 0:
+        raise ShapeError(
+            f"channels ({c_in} in, {c_out} out) must be divisible by groups={groups}"
+        )
+    if c_in_group != c_in // groups:
+        raise ShapeError(
+            f"weight expects {c_in_group} input channels per group but input provides "
+            f"{c_in // groups}"
+        )
+
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (N, C, KH, KW, OH, OW)
+
+    if groups == 1:
+        cols_mat = cols.reshape(n, c_in * kh * kw, oh * ow)
+        w_mat = weight.data.reshape(c_out, c_in * kh * kw)
+        out_data = np.einsum("ok,nkp->nop", w_mat, cols_mat, optimize=True)
+        out_data = out_data.reshape(n, c_out, oh, ow)
+    else:
+        cpg_in = c_in // groups
+        cpg_out = c_out // groups
+        cols_g = cols.reshape(n, groups, cpg_in * kh * kw, oh * ow)
+        w_g = weight.data.reshape(groups, cpg_out, cpg_in * kh * kw)
+        out_data = np.einsum("gok,ngkp->ngop", w_g, cols_g, optimize=True)
+        out_data = out_data.reshape(n, c_out, oh, ow)
+
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, c_out, 1, 1)
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad: np.ndarray) -> None:
+        grad = grad.reshape(n, c_out, oh, ow)
+        if groups == 1:
+            grad_mat = grad.reshape(n, c_out, oh * ow)
+            cols_mat_local = cols.reshape(n, c_in * kh * kw, oh * ow)
+            if weight.requires_grad:
+                w_grad = np.einsum("nop,nkp->ok", grad_mat, cols_mat_local, optimize=True)
+                weight._accumulate(w_grad.reshape(weight.shape))
+            if x.requires_grad:
+                w_mat_local = weight.data.reshape(c_out, c_in * kh * kw)
+                cols_grad = np.einsum("ok,nop->nkp", w_mat_local, grad_mat, optimize=True)
+                cols_grad = cols_grad.reshape(n, c_in, kh, kw, oh, ow)
+                x._accumulate(col2im(cols_grad, x.shape, (kh, kw), stride, padding))
+        else:
+            cpg_in = c_in // groups
+            cpg_out = c_out // groups
+            grad_g = grad.reshape(n, groups, cpg_out, oh * ow)
+            cols_g_local = cols.reshape(n, groups, cpg_in * kh * kw, oh * ow)
+            if weight.requires_grad:
+                w_grad = np.einsum("ngop,ngkp->gok", grad_g, cols_g_local, optimize=True)
+                weight._accumulate(w_grad.reshape(weight.shape))
+            if x.requires_grad:
+                w_g_local = weight.data.reshape(groups, cpg_out, cpg_in * kh * kw)
+                cols_grad = np.einsum("gok,ngop->ngkp", w_g_local, grad_g, optimize=True)
+                cols_grad = cols_grad.reshape(n, c_in, kh, kw, oh, ow)
+                x._accumulate(col2im(cols_grad, x.shape, (kh, kw), stride, padding))
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2, 3)))
+
+    return Tensor._make(out_data, parents, backward)
+
+
+# ---------------------------------------------------------------------------
+# Normalisation
+# ---------------------------------------------------------------------------
+def batch_norm2d(x: Tensor, gamma: Tensor, beta: Tensor, running_mean: np.ndarray,
+                 running_var: np.ndarray, *, training: bool, momentum: float = 0.1,
+                 eps: float = 1e-5) -> Tensor:
+    """Batch normalisation over the channel dimension of NCHW input.
+
+    ``running_mean`` / ``running_var`` are plain arrays updated in place when
+    ``training`` is true (matching the usual framework semantics).
+    """
+    n, c, h, w = x.shape
+    if training:
+        mean = x.data.mean(axis=(0, 2, 3))
+        var = x.data.var(axis=(0, 2, 3))
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * var
+    else:
+        mean = running_mean
+        var = running_var
+
+    mean_b = mean.reshape(1, c, 1, 1)
+    inv_std = 1.0 / np.sqrt(var.reshape(1, c, 1, 1) + eps)
+    x_hat = (x.data - mean_b) * inv_std
+    out_data = gamma.data.reshape(1, c, 1, 1) * x_hat + beta.data.reshape(1, c, 1, 1)
+
+    def backward(grad: np.ndarray) -> None:
+        if gamma.requires_grad:
+            gamma._accumulate((grad * x_hat).sum(axis=(0, 2, 3)))
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=(0, 2, 3)))
+        if x.requires_grad:
+            g = gamma.data.reshape(1, c, 1, 1)
+            if training:
+                m = n * h * w
+                dx_hat = grad * g
+                term1 = dx_hat
+                term2 = dx_hat.mean(axis=(0, 2, 3), keepdims=True)
+                term3 = x_hat * (dx_hat * x_hat).mean(axis=(0, 2, 3), keepdims=True)
+                x._accumulate(inv_std * (term1 - term2 - term3))
+            else:
+                x._accumulate(grad * g * inv_std)
+
+    return Tensor._make(out_data, (x, gamma, beta), backward)
+
+
+# ---------------------------------------------------------------------------
+# Pooling
+# ---------------------------------------------------------------------------
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None, padding: int = 0) -> Tensor:
+    """Max pooling over NCHW input."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols = im2col(x.data, (kernel, kernel), stride, padding)  # (N, C, K, K, OH, OW)
+    oh, ow = cols.shape[-2:]
+    cols_flat = cols.reshape(n, c, kernel * kernel, oh, ow)
+    arg = cols_flat.argmax(axis=2)
+    out_data = np.take_along_axis(cols_flat, arg[:, :, None], axis=2).squeeze(axis=2)
+
+    def backward(grad: np.ndarray) -> None:
+        cols_grad = np.zeros_like(cols_flat)
+        np.put_along_axis(cols_grad, arg[:, :, None], grad[:, :, None], axis=2)
+        cols_grad = cols_grad.reshape(n, c, kernel, kernel, oh, ow)
+        x._accumulate(col2im(cols_grad, x.shape, (kernel, kernel), stride, padding))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None, padding: int = 0) -> Tensor:
+    """Average pooling over NCHW input."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    cols = im2col(x.data, (kernel, kernel), stride, padding)
+    oh, ow = cols.shape[-2:]
+    out_data = cols.mean(axis=(2, 3))
+
+    def backward(grad: np.ndarray) -> None:
+        expand = np.broadcast_to(
+            grad[:, :, None, None, :, :] / (kernel * kernel),
+            (n, c, kernel, kernel, oh, ow),
+        ).copy()
+        x._accumulate(col2im(expand, x.shape, (kernel, kernel), stride, padding))
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over all spatial positions, returning shape ``(N, C)``."""
+    return x.mean(axis=(2, 3))
+
+
+# ---------------------------------------------------------------------------
+# Classification heads
+# ---------------------------------------------------------------------------
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy between logits ``(N, K)`` and integer labels ``(N,)``."""
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ShapeError(f"cross_entropy expects (N, K) logits, got {logits.shape}")
+    n = logits.shape[0]
+    log_probs = log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(n), labels]
+    return -picked.mean()
+
+
+def upsample_nearest2d(x: Tensor, factor: int) -> Tensor:
+    """Nearest-neighbour upsampling of NCHW input by an integer factor.
+
+    Used by the spatial-bottleneck operator: a spatially bottlenecked
+    convolution computes outputs on a coarser grid and upsamples back.
+    """
+    if factor == 1:
+        return x
+    n, c, h, w = x.shape
+    data = np.repeat(np.repeat(x.data, factor, axis=2), factor, axis=3)
+
+    def backward(grad: np.ndarray) -> None:
+        reshaped = grad.reshape(n, c, h, factor, w, factor)
+        x._accumulate(reshaped.sum(axis=(3, 5)))
+
+    return Tensor._make(data, (x,), backward)
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout."""
+    if not training or rate <= 0.0:
+        return x
+    mask = (rng.random(x.shape) >= rate) / (1.0 - rate)
+    return x * Tensor(mask)

@@ -1,0 +1,79 @@
+"""Small shared utilities: seeding, product helpers, pretty formatting."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_DEFAULT_SEED = 0x5EED
+
+
+def make_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a NumPy random generator with a stable default seed.
+
+    All stochastic components of the library accept an explicit ``seed`` or
+    ``rng`` so that experiments are reproducible run-to-run.
+    """
+    return np.random.default_rng(_DEFAULT_SEED if seed is None else seed)
+
+
+def prod(values: Iterable[int]) -> int:
+    """Integer product of an iterable (empty product is 1)."""
+    result = 1
+    for value in values:
+        result *= int(value)
+    return result
+
+
+def divisors(n: int) -> list[int]:
+    """Return the sorted list of positive divisors of ``n``."""
+    if n <= 0:
+        raise ValueError(f"divisors() requires a positive integer, got {n}")
+    small, large = [], []
+    for candidate in range(1, int(math.isqrt(n)) + 1):
+        if n % candidate == 0:
+            small.append(candidate)
+            if candidate != n // candidate:
+                large.append(n // candidate)
+    return small + large[::-1]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division."""
+    if b <= 0:
+        raise ValueError(f"ceil_div() requires a positive divisor, got {b}")
+    return -(-a // b)
+
+
+def human_count(value: float) -> str:
+    """Format a count with K/M/G suffixes (e.g. parameter counts)."""
+    if value >= 1e9:
+        return f"{value / 1e9:.2f}G"
+    if value >= 1e6:
+        return f"{value / 1e6:.2f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.2f}K"
+    return f"{value:.0f}"
+
+
+def human_time(seconds: float) -> str:
+    """Format a duration in the most readable unit."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3f}us"
+    return f"{seconds * 1e9:.1f}ns"
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values, used for aggregate speedups."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric_mean() requires at least one value")
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean() requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,140 @@
+"""Tests for transformation sequences and the unified space catalogue."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SEQUENCE_KINDS,
+    SequenceSpec,
+    TABLE1_PRIMITIVES,
+    UnifiedSpace,
+    UnifiedSpaceConfig,
+    nas_candidate_sequences,
+    paper_sequences,
+    primitive_catalogue,
+    random_sequence,
+)
+from repro.errors import TransformError
+from repro.poly import ConvolutionShape
+from repro.utils import make_rng
+
+
+@pytest.fixture
+def shape():
+    return ConvolutionShape(c_out=16, c_in=16, h_out=8, w_out=8, k_h=3, k_w=3)
+
+
+class TestSequenceSpecs:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(TransformError):
+            SequenceSpec(kind="winograd")
+
+    def test_standard_sequence_is_not_neural(self):
+        assert not SequenceSpec(kind="standard").is_neural
+
+    @pytest.mark.parametrize("kind", [k for k in SEQUENCE_KINDS if k != "standard"])
+    def test_neural_kinds_flagged(self, kind):
+        assert SequenceSpec(kind=kind).is_neural
+
+    @pytest.mark.parametrize("kind", SEQUENCE_KINDS)
+    def test_applicable_sequences_build(self, kind, shape):
+        spec = SequenceSpec(kind=kind)
+        if spec.applicable(shape):
+            computations = spec.build_computations(shape)
+            assert computations and all(c.macs > 0 for c in computations)
+
+    def test_not_applicable_raises_on_build(self):
+        spec = SequenceSpec(kind="depthwise")
+        asymmetric = ConvolutionShape(8, 16, 4, 4, 3, 3)
+        assert not spec.applicable(asymmetric)
+        with pytest.raises(TransformError):
+            spec.build_computations(asymmetric)
+
+    def test_grouped_input_shapes_only_allow_standard(self):
+        grouped = ConvolutionShape(16, 16, 8, 8, 3, 3, groups=2)
+        assert SequenceSpec(kind="standard").applicable(grouped)
+        assert not SequenceSpec(kind="group").applicable(grouped)
+
+    def test_paper_sequence_names_match_section_7_3(self):
+        sequences = paper_sequences()
+        assert sequences["seq1"].transform_names() == (
+            "split", "interchange", "group", "interchange", "fuse")
+        assert sequences["seq2"].transform_names() == ("unroll", "group", "interchange")
+        assert sequences["seq3"].transform_names() == (
+            "split", "group", "interchange", "group")
+
+    def test_nas_candidates_cover_classic_operators(self):
+        kinds = {spec.kind for spec in nas_candidate_sequences().values()}
+        assert kinds == {"group", "bottleneck", "depthwise"}
+
+    def test_random_sequence_is_valid(self):
+        rng = make_rng(0)
+        for _ in range(20):
+            spec = random_sequence(rng)
+            assert spec.kind in SEQUENCE_KINDS
+
+
+class TestSequenceReductions:
+    def test_group_reduction_matches_factor(self, shape):
+        spec = SequenceSpec(kind="group", group=4)
+        assert spec.compute_reduction(shape) == pytest.approx(4.0)
+
+    def test_bottleneck_reduction_matches_factor(self, shape):
+        spec = SequenceSpec(kind="bottleneck", bottleneck=2)
+        assert spec.compute_reduction(shape) == pytest.approx(2.0)
+
+    def test_spatial_bottleneck_reduction_is_squared(self, shape):
+        spec = SequenceSpec(kind="spatial_bottleneck", spatial=2)
+        assert spec.compute_reduction(shape) == pytest.approx(4.0)
+
+    def test_seq3_reduction_is_harmonic_mean_of_groups(self, shape):
+        spec = SequenceSpec(kind="seq3", group=2, group_second=4)
+        assert spec.compute_reduction(shape) == pytest.approx(2 / (1 / 2 + 1 / 4))
+
+    def test_seq3_produces_two_nests(self, shape):
+        assert len(SequenceSpec(kind="seq3").build_computations(shape)) == 2
+
+    def test_conv_config_reduction_consistent_with_loop_reduction(self, shape):
+        """The network-level operator reduces MACs like the loop nest does."""
+        for kind in ("group", "bottleneck", "spatial_bottleneck", "seq3"):
+            spec = SequenceSpec(kind=kind)
+            config = spec.conv_config(shape)
+            loop_reduction = spec.compute_reduction(shape)
+            # The module-level reduction ignores the small 1x1 expansion of
+            # bottlenecking, so allow a generous tolerance.
+            assert config.compute_reduction() == pytest.approx(loop_reduction, rel=0.35)
+
+    def test_describe_mentions_parameters(self):
+        assert "G=4" in SequenceSpec(kind="group", group=4).describe()
+        assert "B=2" in SequenceSpec(kind="bottleneck", bottleneck=2).describe()
+
+
+class TestUnifiedSpace:
+    def test_table1_has_three_categories(self):
+        assert set(TABLE1_PRIMITIVES) == {"program", "neural", "gpu"}
+        assert len(primitive_catalogue()) == 11
+
+    def test_candidates_always_include_standard(self, shape):
+        space = UnifiedSpace(UnifiedSpaceConfig(seed=0))
+        candidates = space.candidate_sequences(shape)
+        assert any(not c.is_neural for c in candidates)
+        assert all(c.applicable(shape) for c in candidates)
+
+    def test_candidates_include_paper_sequences(self, shape):
+        space = UnifiedSpace(UnifiedSpaceConfig(seed=0))
+        kinds = {c.kind for c in space.candidate_sequences(shape)}
+        assert {"seq1", "seq2", "seq3"} <= kinds
+
+    def test_sample_assignment_covers_all_layers(self, shape):
+        space = UnifiedSpace(UnifiedSpaceConfig(seed=0))
+        shapes = {"a": shape, "b": shape}
+        candidates = {name: space.candidate_sequences(shape) for name in shapes}
+        assignment = space.sample_assignment(shapes, candidates, make_rng(1))
+        assert set(assignment) == {"a", "b"}
+
+    def test_space_cardinality(self, shape):
+        space = UnifiedSpace(UnifiedSpaceConfig(seed=0))
+        candidates = {"a": space.candidate_sequences(shape)}
+        assert space.space_cardinality(candidates) == len(candidates["a"])

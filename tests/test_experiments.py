@@ -1,0 +1,118 @@
+"""Integration tests for the experiment drivers (small custom scales)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import PipelineScale
+from repro.experiments import (
+    ExperimentScale,
+    analysis_search,
+    fig3_fisher_filter,
+    fig4_end_to_end,
+    fig5_sequence_frequency,
+    fig6_layerwise,
+    fig9_interpolation,
+    table1_primitives,
+    get_scale,
+)
+from repro.experiments.common import cifar_dataset, cifar_model_builders, format_table
+
+
+@pytest.fixture(scope="module")
+def tiny_scale() -> ExperimentScale:
+    """A test-only scale, even smaller than the CI scale."""
+    pipeline = PipelineScale(width_multiplier=0.125, image_size=8, fisher_batch=4,
+                             configurations=8, tuner_trials=3, train_size=32, test_size=16)
+    return ExperimentScale(name="ci", pipeline=pipeline, cell_samples=3, cell_epochs=1,
+                           proxy_epochs=1, proxy_batch=16, fbnet_epochs=1,
+                           imagenet_image_size=8, imagenet_width=0.125,
+                           imagenet_depth=0.2, interpolation_steps=1)
+
+
+class TestCommonHelpers:
+    def test_get_scale_presets(self):
+        assert get_scale("ci").name == "ci"
+        assert get_scale("full").pipeline.configurations == 1000
+        with pytest.raises(Exception):
+            get_scale("huge")
+
+    def test_model_builders_cover_paper_networks(self, tiny_scale):
+        builders = cifar_model_builders(tiny_scale)
+        assert set(builders) == {"ResNet-34", "ResNeXt-29-2x64d", "DenseNet-161"}
+        for builder in builders.values():
+            assert builder().num_parameters() > 0
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4 and "---" in lines[1]
+
+    def test_dataset_matches_scale(self, tiny_scale):
+        dataset = cifar_dataset(tiny_scale)
+        assert dataset.spec.height == tiny_scale.pipeline.image_size
+
+
+class TestTable1:
+    def test_all_primitives_applicable(self):
+        result = table1_primitives.run()
+        assert len(result.rows) == 11
+        assert result.all_applicable
+        report = table1_primitives.format_report(result)
+        assert "bottleneck" in report and "threadIdx" in report
+
+
+class TestFigure3:
+    def test_scatter_and_summary(self, tiny_scale):
+        result = fig3_fisher_filter.run(tiny_scale, seed=0)
+        assert len(result.evaluations) == tiny_scale.cell_samples
+        assert result.space_size == 15625
+        assert all(e.fisher_potential >= 0 for e in result.evaluations)
+        assert all(0.0 <= e.final_error <= 100.0 for e in result.evaluations)
+        assert "rank correlation" in fig3_fisher_filter.format_report(result)
+
+
+class TestFigure4:
+    def test_single_panel(self, tiny_scale):
+        result = fig4_end_to_end.run(tiny_scale, seed=0, networks=("ResNet-34",),
+                                     platforms=("cpu",))
+        assert result.speedup("ResNet-34", "cpu", "TVM") == pytest.approx(1.0)
+        assert result.speedup("ResNet-34", "cpu", "Ours") >= 1.0
+        assert "Ours" in fig4_end_to_end.format_report(result)
+
+
+class TestFigure5:
+    def test_frequency_counts(self, tiny_scale):
+        result = fig5_sequence_frequency.run(tiny_scale, seed=0, networks=("ResNet-34",))
+        assert result.layer_counts["ResNet-34"] > 0
+        assert result.total("ResNet-34") <= result.layer_counts["ResNet-34"]
+
+
+class TestFigure6:
+    def test_layerwise_rows(self, tiny_scale):
+        result = fig6_layerwise.run(tiny_scale, seed=0, max_layers=6)
+        assert 1 <= len(result.rows) <= 6
+        for row in result.rows:
+            for label in result.sequences:
+                assert row.speedups[label] > 0
+        # Sensitive layers receive no transformation (speedup pinned to 1).
+        for index in result.sensitive_layers():
+            assert result.best_speedup(index) == pytest.approx(1.0)
+
+
+class TestFigure9:
+    def test_interpolation_points(self, tiny_scale):
+        result = fig9_interpolation.run(tiny_scale, seed=0)
+        labels = [p.label for p in result.points]
+        assert "NAS-A (G=2)" in labels and "NAS-B (G=4)" in labels
+        assert any(not p.is_endpoint for p in result.points)
+        assert len(result.pareto_labels()) >= 1
+
+
+class TestAnalysis:
+    def test_search_analysis(self, tiny_scale):
+        result = analysis_search.run(tiny_scale, seed=0, network="ResNet-34")
+        assert result.compression_ratio >= 1.0
+        assert result.speedup >= 1.0
+        assert 0.0 <= result.rejection_rate <= 1.0
+        assert "compression" in analysis_search.format_report(result)

@@ -1,0 +1,145 @@
+"""Tests for the model zoo: structure, shapes and parameter accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models import (
+    CELL_OPERATIONS,
+    Cell,
+    CellSkeleton,
+    CellSpec,
+    DenseNet,
+    ResNet,
+    all_cell_specs,
+    densenet161,
+    enumerate_cell_space,
+    resnet18,
+    resnet34,
+    resnext29_2x64d,
+)
+from repro.tensor import Tensor
+
+
+class TestResNet:
+    def test_resnet34_imagenet_parameter_count_matches_reference(self):
+        """The canonical torchvision ResNet-34 has 21.80M parameters."""
+        model = resnet34(num_classes=1000, imagenet_stem=True)
+        assert model.num_parameters() == pytest.approx(21.8e6, rel=0.01)
+
+    def test_resnet18_has_fewer_parameters_than_resnet34(self):
+        assert (resnet18(num_classes=10).num_parameters()
+                < resnet34(num_classes=10).num_parameters())
+
+    def test_block_counts(self):
+        assert len(resnet34().blocks) == 3 + 4 + 6 + 3
+        assert len(resnet18().blocks) == 8
+
+    def test_forward_shape_cifar(self, rng):
+        model = resnet34(width_multiplier=0.125, num_classes=10)
+        out = model(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_imagenet_stem_downsamples(self, rng):
+        model = resnet18(width_multiplier=0.125, imagenet_stem=True, num_classes=5)
+        out = model(Tensor(rng.normal(size=(1, 3, 32, 32))))
+        assert out.shape == (1, 5)
+
+    def test_width_multiplier_scales_parameters(self):
+        assert (resnet34(width_multiplier=0.25).num_parameters()
+                < resnet34(width_multiplier=0.5).num_parameters())
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ModelError):
+            ResNet("resnet99")
+
+
+class TestResNeXt:
+    def test_forward_shape(self, rng):
+        model = resnext29_2x64d(width_multiplier=0.125, num_classes=10)
+        out = model(Tensor(rng.normal(size=(1, 3, 16, 16))))
+        assert out.shape == (1, 10)
+
+    def test_has_grouped_convolutions(self):
+        model = resnext29_2x64d(width_multiplier=0.125)
+        grouped = [conv for _, conv in model.named_modules()
+                   if getattr(conv, "groups", 1) > 1]
+        assert len(grouped) == 9  # one grouped conv per block, 3 stages x 3 blocks
+
+    def test_block_count(self):
+        assert len(resnext29_2x64d(width_multiplier=0.125).blocks) == 9
+
+
+class TestDenseNet:
+    def test_forward_shape(self, rng):
+        model = densenet161(width_multiplier=0.1, depth_multiplier=0.2, num_classes=10)
+        out = model(Tensor(rng.normal(size=(1, 3, 16, 16))))
+        assert out.shape == (1, 10)
+
+    def test_variant_block_configuration(self):
+        model = DenseNet("densenet169", width_multiplier=0.1, depth_multiplier=0.25)
+        assert len(model.dense_blocks) == 4
+
+    def test_densenet161_is_widest_variant(self):
+        d161 = densenet161(width_multiplier=0.1, depth_multiplier=0.2)
+        d169 = DenseNet("densenet169", width_multiplier=0.1, depth_multiplier=0.2)
+        assert d161.growth_rate >= d169.growth_rate
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ModelError):
+            DenseNet("densenet42")
+
+    def test_heavy_reliance_on_1x1_convolutions(self):
+        """The paper picks DenseNet for its many 1x1 convolutions."""
+        model = densenet161(width_multiplier=0.1, depth_multiplier=0.25)
+        kernel_sizes = [m.kernel_size for _, m in model.named_modules()
+                        if hasattr(m, "kernel_size") and hasattr(m, "weight")]
+        assert kernel_sizes.count(1) > kernel_sizes.count(3)
+
+
+class TestCellSpace:
+    def test_space_size_is_15625(self):
+        assert enumerate_cell_space() == 15625
+
+    def test_spec_index_roundtrip(self):
+        spec = CellSpec(("conv3x3", "identity", "zeroize", "conv1x1", "avgpool3x3", "conv3x3"))
+        assert CellSpec.from_index(spec.index) == spec
+
+    def test_all_cell_specs_enumeration_prefix(self):
+        specs = []
+        for spec in all_cell_specs():
+            specs.append(spec)
+            if len(specs) >= 10:
+                break
+        assert len({s.operations for s in specs}) == 10
+
+    def test_invalid_operation_rejected(self):
+        with pytest.raises(ModelError):
+            CellSpec(("conv9x9",) * 6)
+
+    def test_wrong_edge_count_rejected(self):
+        with pytest.raises(ModelError):
+            CellSpec(("identity",) * 5)
+
+    def test_cell_forward_preserves_shape(self, rng):
+        spec = CellSpec(("conv3x3", "identity", "conv1x1", "zeroize", "identity", "conv3x3"))
+        cell = Cell(spec, channels=8, rng=rng)
+        out = cell(Tensor(rng.normal(size=(1, 8, 6, 6))))
+        assert out.shape == (1, 8, 6, 6)
+
+    def test_all_zeroize_cell_outputs_zero(self, rng):
+        cell = Cell(CellSpec(("zeroize",) * 6), channels=4, rng=rng)
+        out = cell(Tensor(rng.normal(size=(1, 4, 5, 5))))
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_skeleton_forward(self, rng):
+        spec = CellSpec(("conv3x3", "identity", "conv1x1", "identity", "identity", "conv3x3"))
+        model = CellSkeleton(spec, num_cells=3, init_channels=8, num_classes=10, rng=rng)
+        out = model(Tensor(rng.normal(size=(2, 3, 16, 16))))
+        assert out.shape == (2, 10)
+
+    def test_operations_match_figure2(self):
+        for op in ("identity", "zeroize", "conv3x3", "conv1x1"):
+            assert op in CELL_OPERATIONS

@@ -1,0 +1,120 @@
+"""Tests for the NAS convolution variants and the derived-operator module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ModelError
+from repro.tensor import Tensor
+
+
+@pytest.fixture
+def feature_map(rng):
+    return Tensor(rng.normal(size=(2, 8, 8, 8)))
+
+
+class TestCandidateOperators:
+    def test_grouped_preserves_interface(self, rng, feature_map):
+        conv = nn.GroupedConv2d(8, 16, 3, padding=1, groups=4, rng=rng)
+        assert conv(feature_map).shape == (2, 16, 8, 8)
+
+    def test_grouped_has_fewer_parameters(self, rng):
+        standard = nn.Conv2d(8, 16, 3, rng=rng)
+        grouped = nn.GroupedConv2d(8, 16, 3, groups=4, rng=rng)
+        assert grouped.num_parameters() * 4 == standard.num_parameters()
+
+    def test_bottleneck_preserves_interface(self, rng, feature_map):
+        conv = nn.BottleneckConv2d(8, 16, 3, padding=1, factor=4, rng=rng)
+        assert conv(feature_map).shape == (2, 16, 8, 8)
+
+    def test_bottleneck_reduces_parameters(self, rng):
+        standard = nn.Conv2d(8, 16, 3, rng=rng)
+        bottlenecked = nn.BottleneckConv2d(8, 16, 3, factor=4, rng=rng)
+        assert bottlenecked.num_parameters() < standard.num_parameters()
+
+    def test_input_bottleneck_uses_leading_channels(self, rng, feature_map):
+        conv = nn.InputBottleneckConv2d(8, 16, 3, padding=1, factor=2, rng=rng)
+        out = conv(feature_map)
+        assert out.shape == (2, 16, 8, 8)
+        assert conv.kept_channels == 4
+
+    def test_depthwise_separable(self, rng, feature_map):
+        conv = nn.DepthwiseSeparableConv2d(8, 16, 3, padding=1, rng=rng)
+        assert conv(feature_map).shape == (2, 16, 8, 8)
+        standard = nn.Conv2d(8, 16, 3, rng=rng)
+        assert conv.num_parameters() < standard.num_parameters()
+
+    def test_spatial_bottleneck_restores_resolution(self, rng, feature_map):
+        conv = nn.SpatialBottleneckConv2d(8, 16, 3, padding=1, factor=2, rng=rng)
+        assert conv(feature_map).shape == (2, 16, 8, 8)
+
+    def test_divisibility_validation(self):
+        with pytest.raises(ModelError):
+            nn.GroupedConv2d(6, 8, 3, groups=4)
+        with pytest.raises(ModelError):
+            nn.BottleneckConv2d(8, 6, 3, factor=4)
+
+    def test_build_candidate_all_kinds(self, rng, feature_map):
+        for kind in nn.CANDIDATE_KINDS:
+            candidate = nn.build_candidate(kind, 8, 16, 3, padding=1, rng=rng)
+            assert candidate(feature_map).shape == (2, 16, 8, 8), kind
+
+    def test_build_candidate_unknown_kind(self):
+        with pytest.raises(ModelError):
+            nn.build_candidate("winograd", 8, 8, 3)
+
+
+class TestConvTransformConfig:
+    def test_default_is_identity(self):
+        config = nn.ConvTransformConfig()
+        assert config.compute_reduction() == pytest.approx(1.0)
+        assert config.describe() == "standard"
+
+    def test_reduction_composition(self):
+        config = nn.ConvTransformConfig(bottleneck_out=2, spatial_bottleneck=2,
+                                        group_factors=(2,))
+        assert config.compute_reduction() == pytest.approx(2 * 4 * 2)
+
+    def test_mixed_group_reduction_is_harmonic(self):
+        config = nn.ConvTransformConfig(group_factors=(2, 4))
+        assert config.compute_reduction() == pytest.approx(2 / (0.5 + 0.25))
+
+    def test_describe_mentions_active_parts(self):
+        config = nn.ConvTransformConfig(bottleneck_in=2, group_factors=(4,))
+        text = config.describe()
+        assert "bottleneck_in=2" in text and "groups=[4]" in text
+
+
+class TestDerivedConv2d:
+    @pytest.mark.parametrize("config", [
+        nn.ConvTransformConfig(),
+        nn.ConvTransformConfig(group_factors=(2,)),
+        nn.ConvTransformConfig(group_factors=(2, 4)),
+        nn.ConvTransformConfig(bottleneck_out=2),
+        nn.ConvTransformConfig(bottleneck_in=2),
+        nn.ConvTransformConfig(spatial_bottleneck=2),
+        nn.ConvTransformConfig(bottleneck_out=2, group_factors=(2,)),
+    ])
+    def test_preserves_interface(self, rng, feature_map, config):
+        conv = nn.DerivedConv2d(8, 16, 3, padding=1, config=config, rng=rng)
+        assert conv(feature_map).shape == (2, 16, 8, 8)
+
+    def test_reduces_flops_according_to_config(self):
+        standard = nn.Conv2d(8, 16, 3, padding=1)
+        derived = nn.DerivedConv2d(8, 16, 3, padding=1,
+                                   config=nn.ConvTransformConfig(group_factors=(2,)))
+        assert derived.flops((8, 8)) * 2 == standard.flops((8, 8))
+
+    def test_invalid_group_factor_rejected(self):
+        with pytest.raises(ModelError):
+            nn.DerivedConv2d(8, 16, 3, config=nn.ConvTransformConfig(group_factors=(3,)))
+
+    def test_gradients_flow_through_derived_operator(self, rng):
+        conv = nn.DerivedConv2d(4, 8, 3, padding=1,
+                                config=nn.ConvTransformConfig(bottleneck_out=2), rng=rng)
+        out = conv(Tensor(rng.normal(size=(1, 4, 4, 4))))
+        out.sum().backward()
+        grads = [p.grad for p in conv.parameters()]
+        assert all(g is not None for g in grads)

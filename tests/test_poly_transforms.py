@@ -1,0 +1,259 @@
+"""Tests for the polyhedral model: domains, dependences, transformations.
+
+The central properties come straight from the paper: classic program
+transformations preserve every computed value (checked by executing the
+transformed nests), while the neural transformations change values in the
+expected structured way and are flagged as requiring the Fisher check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import LegalityError, TransformError
+from repro.poly import (
+    AffineExpr,
+    AffineMap,
+    Bottleneck,
+    ConvolutionShape,
+    Depthwise,
+    Domain,
+    Fuse,
+    Group,
+    Interchange,
+    Iterator,
+    Reorder,
+    Reverse,
+    StripMine,
+    Tile,
+    apply_sequence,
+    convolution_nest,
+    dependence_vectors,
+    execute,
+    execute_reference_convolution,
+    has_loop_carried_dependence,
+    init_statement,
+    parallel_iterators,
+    pointwise_convolution_nest,
+    schedule_preserves_dependences,
+)
+
+
+@pytest.fixture
+def conv_statement():
+    return convolution_nest(ConvolutionShape(4, 4, 4, 4, 3, 3))
+
+
+@pytest.fixture
+def conv_data(rng):
+    weights = rng.normal(size=(4, 4, 3, 3))
+    image = rng.normal(size=(4, 6, 6))
+    return weights, image, execute_reference_convolution(weights, image)
+
+
+def run_nest(statement, data):
+    weights, image, _ = data
+    return execute(statement, {"W": weights, "I": image}, (4, 4, 4))
+
+
+class TestAffine:
+    def test_expr_evaluation(self):
+        expr = AffineExpr.of({"i": 2, "j": -1}, 3)
+        assert expr.evaluate({"i": 4, "j": 1}) == 10
+
+    def test_expr_add_and_mul(self):
+        a = AffineExpr.var("i") + AffineExpr.of({"j": 2}, 1)
+        assert (a * 3).evaluate({"i": 1, "j": 1}) == 12
+
+    def test_substitute(self):
+        expr = AffineExpr.of({"i": 2})
+        replaced = expr.substitute({"i": AffineExpr.of({"a": 4, "b": 1})})
+        assert replaced.evaluate({"a": 1, "b": 3}) == 14
+
+    def test_map_permute_validation(self):
+        amap = AffineMap.identity(["i", "j"])
+        with pytest.raises(TransformError):
+            amap.permute([0, 0])
+
+    def test_unknown_iterator_raises(self):
+        with pytest.raises(TransformError):
+            AffineExpr.var("i").evaluate({"j": 1})
+
+
+class TestDomain:
+    def test_cardinality(self):
+        domain = Domain.of(i=3, j=4, k=5)
+        assert domain.cardinality() == 60
+
+    def test_points_enumeration(self):
+        domain = Domain.of(i=2, j=2)
+        assert len(list(domain.points())) == 4
+
+    def test_reorder_and_restrict(self):
+        domain = Domain.of(i=4, j=8)
+        reordered = domain.reorder(["j", "i"])
+        assert reordered.names == ("j", "i")
+        restricted = domain.restrict("j", 4)
+        assert restricted.extent("j") == 4
+
+    def test_invalid_operations(self):
+        domain = Domain.of(i=4)
+        with pytest.raises(TransformError):
+            domain.restrict("i", 8)
+        with pytest.raises(TransformError):
+            domain["missing"]
+        with pytest.raises(TransformError):
+            Iterator("i", 0)
+
+
+class TestDependences:
+    def test_reduction_dependences_found(self, conv_statement):
+        kinds = {(v.kind, v.tensor) for v in dependence_vectors(conv_statement)}
+        assert ("reduction", "O") in kinds
+
+    def test_reduction_iterators_carry_dependences(self, conv_statement):
+        assert has_loop_carried_dependence(conv_statement, "ci")
+        assert has_loop_carried_dependence(conv_statement, "kh")
+        assert not has_loop_carried_dependence(conv_statement, "co")
+
+    def test_parallel_iterators_are_the_output_ones(self, conv_statement):
+        assert set(parallel_iterators(conv_statement)) == {"co", "oh", "ow"}
+
+    def test_any_permutation_is_legal_for_conv(self, conv_statement):
+        assert schedule_preserves_dependences(
+            conv_statement, ["kw", "kh", "ow", "oh", "ci", "co"])
+
+    def test_init_statement_has_no_dependences(self):
+        statement = init_statement(ConvolutionShape(2, 2, 2, 2, 1, 1))
+        assert dependence_vectors(statement) == []
+
+
+class TestClassicTransformations:
+    def test_base_nest_matches_reference(self, conv_statement, conv_data):
+        np.testing.assert_allclose(run_nest(conv_statement, conv_data), conv_data[2])
+
+    @pytest.mark.parametrize("transformation", [
+        Interchange("co", "ci"),
+        Interchange("oh", "kw"),
+        Reorder(("kw", "kh", "ow", "oh", "ci", "co")),
+        StripMine("ci", 2),
+        StripMine("ow", 4),
+        Tile("ow", 2),
+        Tile("ci", 2),
+    ])
+    def test_value_preservation(self, conv_statement, conv_data, transformation):
+        transformed = transformation.apply(conv_statement)
+        np.testing.assert_allclose(run_nest(transformed, conv_data), conv_data[2])
+
+    def test_transformation_sequences_compose(self, conv_statement, conv_data):
+        transformed = apply_sequence(conv_statement, [
+            StripMine("ci", 2), Interchange("co", "ci_o"), Tile("ow", 2)])
+        np.testing.assert_allclose(run_nest(transformed, conv_data), conv_data[2])
+
+    def test_split_then_fuse_roundtrip(self, conv_statement, conv_data):
+        transformed = apply_sequence(conv_statement, [StripMine("ci", 2), Fuse("ci_o", "ci_i")])
+        assert transformed.domain.cardinality() == conv_statement.domain.cardinality()
+        np.testing.assert_allclose(run_nest(transformed, conv_data), conv_data[2])
+
+    def test_strip_mine_requires_divisibility(self, conv_statement):
+        with pytest.raises(TransformError):
+            StripMine("ci", 3).apply(conv_statement)
+
+    def test_fuse_requires_adjacency(self, conv_statement):
+        with pytest.raises(TransformError):
+            Fuse("co", "oh").apply(conv_statement)
+
+    def test_reverse_of_reduction_iterator_is_illegal(self, conv_statement):
+        with pytest.raises(LegalityError):
+            Reverse("ci").apply(conv_statement)
+
+    def test_reverse_of_parallel_iterator_is_legal(self, conv_statement, conv_data):
+        # Reversing a loop that carries no dependence is legal; the result
+        # computes the same output values (order of accumulation unchanged).
+        transformed = Reverse("co").apply(conv_statement)
+        np.testing.assert_allclose(run_nest(transformed, conv_data), conv_data[2])
+
+    def test_classic_transformations_are_not_neural(self):
+        assert not Interchange("co", "ci").is_neural
+        assert not StripMine("ci", 2).is_neural
+        assert not Tile("ow", 2).is_neural
+
+
+class TestNeuralTransformations:
+    def test_bottleneck_zeroes_dropped_filters(self, conv_statement, conv_data):
+        transformed = Bottleneck("co", 2).apply(conv_statement)
+        output = run_nest(transformed, conv_data)
+        np.testing.assert_allclose(output[:2], conv_data[2][:2])
+        np.testing.assert_allclose(output[2:], 0.0)
+
+    def test_bottleneck_reduces_cardinality(self, conv_statement):
+        transformed = Bottleneck("co", 4).apply(conv_statement)
+        assert transformed.domain.cardinality() * 4 == conv_statement.domain.cardinality()
+
+    def test_bottleneck_divisibility_constraint(self, conv_statement):
+        with pytest.raises(TransformError):
+            Bottleneck("co", 3).apply(conv_statement)
+
+    def test_group_reduces_macs_by_factor(self, conv_statement):
+        grouped = Group(2).apply(conv_statement)
+        assert grouped.domain.cardinality() * 2 == conv_statement.domain.cardinality()
+
+    def test_group_matches_blockdiagonal_convolution(self, conv_statement, conv_data):
+        """Each output slice only sees its own input slice (Algorithm 2)."""
+        weights, image, _ = conv_data
+        grouped = Group(2).apply(conv_statement)
+        output = execute(grouped, {"W": weights, "I": image}, (4, 4, 4))
+        blocked = np.zeros_like(weights)
+        blocked[:2, :2] = weights[:2, :2]
+        blocked[2:, 2:] = weights[2:, 2:]
+        np.testing.assert_allclose(output, execute_reference_convolution(blocked, image))
+
+    def test_depthwise_requires_square_channels(self):
+        statement = convolution_nest(ConvolutionShape(4, 8, 4, 4, 3, 3))
+        with pytest.raises(TransformError):
+            Depthwise().apply(statement)
+
+    def test_depthwise_collapses_channel_loops(self, conv_statement):
+        transformed = Depthwise().apply(conv_statement)
+        assert "g" in transformed.domain.names
+        assert transformed.domain.cardinality() * 4 == conv_statement.domain.cardinality()
+
+    def test_neural_transformations_are_flagged(self):
+        assert Bottleneck("co", 2).is_neural
+        assert Group(2).is_neural
+        assert Depthwise().is_neural
+
+    def test_spatial_bottleneck_composition_from_paper(self, conv_statement):
+        """§5.3: spatial bottlenecking is interchange/bottleneck composition."""
+        sequence = [
+            Reorder(("oh", "ow", "co", "ci", "kh", "kw")),
+            Bottleneck("oh", 2),
+            Reorder(("ow", "oh", "co", "ci", "kh", "kw")),
+            Bottleneck("ow", 2),
+            Reorder(("co", "ci", "oh", "ow", "kh", "kw")),
+        ]
+        transformed = apply_sequence(conv_statement, sequence)
+        assert transformed.domain.extent("oh") == 2
+        assert transformed.domain.extent("ow") == 2
+        assert transformed.domain.extent("co") == 4
+
+    def test_input_bottleneck_composition_from_paper(self, conv_statement, conv_data):
+        """§2.3: interchanging channels then re-applying bottlenecking."""
+        transformed = apply_sequence(conv_statement,
+                                     [Interchange("co", "ci"), Bottleneck("ci", 2)])
+        output = run_nest(transformed, conv_data)
+        # Only the first half of the input channels contributes.
+        weights, image, _ = conv_data
+        expected = execute_reference_convolution(weights[:, :2], image[:2])
+        np.testing.assert_allclose(output, expected)
+
+
+class TestPointwiseNest:
+    def test_algorithm1_pointwise_convolution(self, rng):
+        statement = pointwise_convolution_nest(3, 4, 5, 5)
+        weights = rng.normal(size=(3, 4, 1, 1))
+        image = rng.normal(size=(4, 5, 5))
+        output = execute(statement, {"W": weights, "I": image}, (3, 5, 5))
+        expected = np.einsum("oikl,ihw->ohw", weights, image)
+        np.testing.assert_allclose(output, expected)

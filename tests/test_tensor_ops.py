@@ -1,0 +1,218 @@
+"""Tests for the neural-network operations (convolution family, BN, pooling)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor, check_gradients, ops
+
+
+def _reference_conv(x, w, stride=1, padding=0, groups=1):
+    """Direct convolution via scipy.correlate2d, used as ground truth."""
+    n, c_in, h, wdt = x.shape
+    c_out, c_in_g, kh, kw = w.shape
+    if padding:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    oh = (x.shape[2] - kh) // stride + 1
+    ow = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((n, c_out, oh, ow))
+    cpg_in = c_in // groups
+    cpg_out = c_out // groups
+    for b in range(n):
+        for co in range(c_out):
+            group = co // cpg_out
+            acc = np.zeros((x.shape[2] - kh + 1, x.shape[3] - kw + 1))
+            for ci_local in range(cpg_in):
+                ci = group * cpg_in + ci_local
+                acc += signal.correlate2d(x[b, ci], w[co, ci_local], mode="valid")
+            out[b, co] = acc[::stride, ::stride]
+    return out
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_matches_reference(self, rng, stride, padding):
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)))
+        w = Tensor(rng.normal(size=(5, 3, 3, 3)))
+        out = ops.conv2d(x, w, stride=stride, padding=padding)
+        expected = _reference_conv(x.data, w.data, stride, padding)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    @pytest.mark.parametrize("groups", [2, 4])
+    def test_grouped_matches_reference(self, rng, groups):
+        x = Tensor(rng.normal(size=(2, 8, 6, 6)))
+        w = Tensor(rng.normal(size=(8, 8 // groups, 3, 3)))
+        out = ops.conv2d(x, w, padding=1, groups=groups)
+        expected = _reference_conv(x.data, w.data, 1, 1, groups)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_depthwise_is_group_per_channel(self, rng):
+        x = Tensor(rng.normal(size=(1, 4, 5, 5)))
+        w = Tensor(rng.normal(size=(4, 1, 3, 3)))
+        out = ops.conv2d(x, w, padding=1, groups=4)
+        expected = _reference_conv(x.data, w.data, 1, 1, 4)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_bias_added_per_channel(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)))
+        w = Tensor(rng.normal(size=(3, 2, 1, 1)))
+        bias = Tensor(np.array([1.0, 2.0, 3.0]))
+        out = ops.conv2d(x, w, bias)
+        no_bias = ops.conv2d(x, w)
+        np.testing.assert_allclose(out.data - no_bias.data,
+                                   np.array([1.0, 2.0, 3.0]).reshape(1, 3, 1, 1)
+                                   * np.ones_like(no_bias.data))
+
+    def test_gradients(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 5, 5)), requires_grad=True)
+        w = Tensor(rng.normal(size=(3, 2, 3, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        assert check_gradients(lambda a, ww, bb: ops.conv2d(a, ww, bb, padding=1), [x, w, b])
+
+    def test_grouped_gradients(self, rng):
+        x = Tensor(rng.normal(size=(1, 4, 4, 4)), requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 2, 3, 3)), requires_grad=True)
+        assert check_gradients(lambda a, ww: ops.conv2d(a, ww, padding=1, groups=2), [x, w])
+
+    def test_strided_gradients(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 6, 6)), requires_grad=True)
+        w = Tensor(rng.normal(size=(2, 2, 3, 3)), requires_grad=True)
+        assert check_gradients(lambda a, ww: ops.conv2d(a, ww, stride=2, padding=1), [x, w])
+
+    def test_channel_mismatch_raises(self, rng):
+        x = Tensor(rng.normal(size=(1, 3, 4, 4)))
+        w = Tensor(rng.normal(size=(4, 2, 3, 3)))
+        with pytest.raises(ShapeError):
+            ops.conv2d(x, w)
+
+    def test_output_size_formula(self):
+        assert ops.conv_output_size(32, 3, 1, 1) == 32
+        assert ops.conv_output_size(32, 3, 2, 1) == 16
+        assert ops.conv_output_size(7, 3, 1, 0) == 5
+
+
+class TestIm2col:
+    def test_roundtrip_counts_overlaps(self, rng):
+        x = rng.normal(size=(1, 1, 4, 4))
+        cols = ops.im2col(x, (3, 3), 1, 1)
+        back = ops.col2im(cols, x.shape, (3, 3), 1, 1)
+        # Each pixel is counted once per patch containing it.
+        counts = ops.col2im(np.ones_like(cols), x.shape, (3, 3), 1, 1)
+        np.testing.assert_allclose(back, x * counts)
+
+    def test_shapes(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        cols = ops.im2col(x, (3, 3), 2, 1)
+        assert cols.shape == (2, 3, 3, 3, 4, 4)
+
+
+class TestBatchNorm:
+    def test_training_normalises(self, rng):
+        x = Tensor(rng.normal(2.0, 3.0, size=(8, 4, 5, 5)))
+        gamma, beta = Tensor(np.ones(4)), Tensor(np.zeros(4))
+        mean, var = np.zeros(4), np.ones(4)
+        out = ops.batch_norm2d(x, gamma, beta, mean, var, training=True)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), np.zeros(4), atol=1e-7)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)), np.ones(4), atol=1e-3)
+
+    def test_running_stats_updated(self, rng):
+        x = Tensor(rng.normal(5.0, 1.0, size=(16, 2, 4, 4)))
+        gamma, beta = Tensor(np.ones(2)), Tensor(np.zeros(2))
+        mean, var = np.zeros(2), np.ones(2)
+        ops.batch_norm2d(x, gamma, beta, mean, var, training=True, momentum=1.0)
+        np.testing.assert_allclose(mean, x.data.mean(axis=(0, 2, 3)))
+
+    def test_eval_uses_running_stats(self, rng):
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)))
+        gamma, beta = Tensor(np.full(2, 2.0)), Tensor(np.full(2, 1.0))
+        mean, var = np.zeros(2), np.ones(2)
+        out = ops.batch_norm2d(x, gamma, beta, mean, var, training=False, eps=0.0)
+        np.testing.assert_allclose(out.data, 2.0 * x.data + 1.0, atol=1e-7)
+
+    def test_gradients_training(self, rng):
+        x = Tensor(rng.normal(size=(4, 2, 3, 3)), requires_grad=True)
+        gamma = Tensor(rng.uniform(0.5, 1.5, size=2), requires_grad=True)
+        beta = Tensor(rng.normal(size=2), requires_grad=True)
+
+        def fn(a, g, b):
+            return ops.batch_norm2d(a, g, b, np.zeros(2), np.ones(2), training=True)
+
+        assert check_gradients(fn, [x, gamma, beta], atol=1e-3)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4))
+        out = ops.max_pool2d(x, 2)
+        np.testing.assert_allclose(out.data.reshape(2, 2), [[5, 7], [13, 15]])
+
+    def test_avg_pool_values(self):
+        x = Tensor(np.arange(16, dtype=float).reshape(1, 1, 4, 4))
+        out = ops.avg_pool2d(x, 2)
+        np.testing.assert_allclose(out.data.reshape(2, 2), [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_max_pool_gradients(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        assert check_gradients(lambda a: ops.max_pool2d(a, 2), [x], eps=1e-6)
+
+    def test_avg_pool_gradients(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 4, 4)), requires_grad=True)
+        assert check_gradients(lambda a: ops.avg_pool2d(a, 2), [x])
+
+    def test_global_avg_pool(self, rng):
+        x = Tensor(rng.normal(size=(2, 3, 4, 4)))
+        np.testing.assert_allclose(ops.global_avg_pool2d(x).data, x.data.mean(axis=(2, 3)))
+
+
+class TestClassificationHeads:
+    def test_softmax_sums_to_one(self, rng):
+        x = Tensor(rng.normal(size=(4, 7)))
+        np.testing.assert_allclose(ops.softmax(x, axis=1).data.sum(axis=1), np.ones(4))
+
+    def test_log_softmax_consistency(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        np.testing.assert_allclose(ops.log_softmax(x, axis=1).data,
+                                   np.log(ops.softmax(x, axis=1).data), atol=1e-10)
+
+    def test_cross_entropy_uniform_logits(self):
+        logits = Tensor(np.zeros((4, 10)))
+        loss = ops.cross_entropy(logits, np.array([0, 3, 5, 9]))
+        assert float(loss.data) == pytest.approx(np.log(10.0))
+
+    def test_cross_entropy_gradients(self, rng):
+        logits = Tensor(rng.normal(size=(4, 6)), requires_grad=True)
+        labels = np.array([0, 2, 4, 5])
+        assert check_gradients(lambda x: ops.cross_entropy(x, labels), [logits])
+
+    def test_cross_entropy_rejects_bad_shape(self, rng):
+        with pytest.raises(ShapeError):
+            ops.cross_entropy(Tensor(rng.normal(size=(4, 3, 2))), np.array([0]))
+
+
+class TestUpsampleAndDropout:
+    def test_upsample_nearest_values(self):
+        x = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]]).reshape(1, 1, 2, 2))
+        out = ops.upsample_nearest2d(x, 2)
+        assert out.shape == (1, 1, 4, 4)
+        np.testing.assert_allclose(out.data[0, 0, :2, :2], np.ones((2, 2)))
+
+    def test_upsample_gradients(self, rng):
+        x = Tensor(rng.normal(size=(1, 2, 3, 3)), requires_grad=True)
+        assert check_gradients(lambda a: ops.upsample_nearest2d(a, 2), [x])
+
+    def test_upsample_factor_one_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(1, 1, 2, 2)))
+        assert ops.upsample_nearest2d(x, 1) is x
+
+    def test_dropout_eval_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(4, 4)))
+        out = ops.dropout(x, 0.5, rng, training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_dropout_training_scales(self, rng):
+        x = Tensor(np.ones((1000,)))
+        out = ops.dropout(x, 0.5, rng, training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.1)
