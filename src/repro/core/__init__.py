@@ -19,11 +19,21 @@ from repro.core.workloads import (
     total_macs,
     unique_shapes,
 )
+from repro.core.engine import (
+    EngineStatistics,
+    EvaluationEngine,
+    FisherOracle,
+)
 from repro.core.search import (
+    SEARCH_STRATEGIES,
+    SEARCH_STRATEGY_REGISTRY,
     LayerChoice,
     SearchStatistics,
+    SearchStrategy,
     UnifiedSearch,
     UnifiedSearchResult,
+    get_strategy,
+    register_strategy,
 )
 from repro.core.pipeline import (
     ApproachMeasurement,
@@ -44,6 +54,9 @@ __all__ = [
     "random_sequence",
     "TABLE1_PRIMITIVES", "UnifiedSpace", "UnifiedSpaceConfig", "primitive_catalogue",
     "LayerWorkload", "extract_workloads", "total_macs", "unique_shapes",
+    "EngineStatistics", "EvaluationEngine", "FisherOracle",
+    "SEARCH_STRATEGIES", "SEARCH_STRATEGY_REGISTRY", "SearchStrategy",
+    "get_strategy", "register_strategy",
     "LayerChoice", "SearchStatistics", "UnifiedSearch", "UnifiedSearchResult",
     "ApproachMeasurement", "ComparisonResult", "PipelineScale", "compare_approaches",
     "network_latency", "workload_latency",

@@ -1,0 +1,300 @@
+"""The shared evaluation engine: one oracle pair for the whole system.
+
+Every layer of the codebase asks the same two questions:
+
+* *how fast is this convolution under this transformation sequence on this
+  platform?* — answered by auto-tuning the sequence's loop nests and
+  reading the analytic cost model (:meth:`EvaluationEngine.tuned_latency`);
+* *how much representational capacity does this substitution keep?* —
+  answered by the Fisher Potential of the candidate operator
+  (:meth:`FisherOracle.candidate_fisher`).
+
+Both are expensive relative to everything around them, and both are pure
+functions of a small key, so the engine memoises them and is shared across
+searches, the pipeline's three approaches and the experiment drivers.
+This is what keeps the paper's §7.2 claim honest in the reproduction:
+~1000 configurations stay cheap *because* each unique (shape, sequence)
+pair is tuned exactly once per platform.
+
+Latency entries are keyed by ``(platform.name, shape, sequence,
+tuner_trials, seed)`` — everything the tuned latency depends on — so a
+cache can be persisted to disk (:meth:`EvaluationEngine.save_cache`) and
+safely reloaded by later runs, even runs against other platforms or tuner
+settings.  Fisher scores additionally depend on the profiled model and
+minibatch, so they are memoised per :class:`FisherOracle` (one oracle per
+Fisher profile) rather than persisted.
+
+See DESIGN.md §2–§3 for the architecture and the cache-key scheme.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.sequences import SequenceSpec
+from repro.core.workloads import LayerWorkload
+from repro.errors import EngineError, ModelError, TransformError
+from repro.fisher import candidate_layer_fisher
+from repro.hardware.platform import PlatformSpec
+from repro.nn.convs import DerivedConv2d
+from repro.poly.statement import ConvolutionShape
+from repro.tenir.autotune import AutoTuner
+from repro.utils import make_rng
+
+#: Executor choices for :meth:`EvaluationEngine.tune_many`.
+PARALLEL_MODES = ("serial", "thread", "process")
+
+#: A latency cache key: everything the tuned latency depends on.
+LatencyKey = tuple[str, ConvolutionShape, SequenceSpec, int, int]
+
+#: On-disk cache format version (bump when the key or value layout changes).
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass
+class EngineStatistics:
+    """Counters for the engine's oracle traffic (hit rates, tuner work)."""
+
+    tuner_calls: int = 0
+    latency_hits: int = 0
+    latency_misses: int = 0
+    fisher_hits: int = 0
+    fisher_misses: int = 0
+    loaded_entries: int = 0
+
+    @property
+    def latency_queries(self) -> int:
+        return self.latency_hits + self.latency_misses
+
+    @property
+    def latency_hit_rate(self) -> float:
+        queries = self.latency_queries
+        return self.latency_hits / queries if queries else 0.0
+
+    @property
+    def fisher_hit_rate(self) -> float:
+        queries = self.fisher_hits + self.fisher_misses
+        return self.fisher_hits / queries if queries else 0.0
+
+
+def _tune_entry(args: tuple[PlatformSpec, ConvolutionShape, SequenceSpec, int, int],
+                ) -> tuple[float, int]:
+    """Tune one (shape, sequence) pair; picklable for process executors.
+
+    Returns the summed latency of the sequence's loop nests and the number
+    of ``AutoTuner.tune`` calls made, so the parent can keep exact counts.
+    """
+    platform, shape, sequence, trials, seed = args
+    tuner = AutoTuner(trials=trials, seed=seed)
+    total, calls = 0.0, 0
+    for computation in sequence.build_computations(shape):
+        total += tuner.tune(computation, platform).seconds
+        calls += 1
+    return total, calls
+
+
+class FisherOracle:
+    """Memoised candidate Fisher scores against one network profile.
+
+    Fisher scores depend on the profiled model and minibatch, so their
+    cache lives with the profile rather than in the engine's persistent
+    store; the engine only aggregates the hit statistics and supplies the
+    candidate-instantiation seed.
+    """
+
+    def __init__(self, engine: "EvaluationEngine", profile):
+        self.engine = engine
+        self.profile = profile
+        self._cache: dict[tuple[str, SequenceSpec], float] = {}
+
+    def candidate_fisher(self, workload: LayerWorkload, sequence: SequenceSpec) -> float:
+        """Fisher score of ``workload`` after substituting ``sequence``.
+
+        Program-only sequences keep the original layer's score; neural
+        sequences instantiate the derived operator and score it locally
+        against the recorded activations/gradients.  Infeasible candidates
+        score ``-inf`` (always rejected by the legality check).
+        """
+        key = (workload.name, sequence)
+        if key in self._cache:
+            self.engine.statistics.fisher_hits += 1
+            return self._cache[key]
+        self.engine.statistics.fisher_misses += 1
+        record = self.profile.layers[workload.name]
+        if not sequence.is_neural:
+            score = record.score
+        else:
+            config = sequence.conv_config(workload.shape)
+            try:
+                candidate = DerivedConv2d(
+                    record.in_channels, record.out_channels, record.kernel_size,
+                    stride=record.stride, padding=record.padding, config=config,
+                    rng=make_rng(self.engine.seed))
+                score = candidate_layer_fisher(record, candidate)
+            except (ModelError, TransformError):
+                score = -np.inf
+        self._cache[key] = score
+        return score
+
+
+class EvaluationEngine:
+    """Shared latency / Fisher oracles with a persistent cross-search cache."""
+
+    def __init__(self, platform: PlatformSpec, *, tuner_trials: int = 8,
+                 seed: int | None = 0, cache_path: str | Path | None = None,
+                 parallel: str = "serial", max_workers: int | None = None):
+        if tuner_trials < 1:
+            raise EngineError("the engine needs at least one tuner trial")
+        if parallel not in PARALLEL_MODES:
+            raise EngineError(
+                f"unknown parallel mode '{parallel}'; expected one of {PARALLEL_MODES}")
+        self.platform = platform
+        self.tuner_trials = tuner_trials
+        self.seed = 0 if seed is None else int(seed)
+        self.parallel = parallel
+        self.max_workers = max_workers
+        self.cache_path = Path(cache_path) if cache_path is not None else None
+        self.statistics = EngineStatistics()
+        self._latency_cache: dict[LatencyKey, float] = {}
+        if self.cache_path is not None and self.cache_path.exists():
+            self.load_cache(self.cache_path)
+
+    # ------------------------------------------------------------------
+    # Cache keys
+    # ------------------------------------------------------------------
+    def latency_key(self, shape: ConvolutionShape, sequence: SequenceSpec) -> LatencyKey:
+        return (self.platform.name, shape, sequence, self.tuner_trials, self.seed)
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._latency_cache)
+
+    def cache_keys(self) -> tuple[LatencyKey, ...]:
+        return tuple(self._latency_cache)
+
+    # ------------------------------------------------------------------
+    # The latency oracle
+    # ------------------------------------------------------------------
+    def tuned_latency(self, shape: ConvolutionShape, sequence: SequenceSpec) -> float:
+        """Auto-tuned latency of ``sequence`` applied to ``shape``, memoised."""
+        key = self.latency_key(shape, sequence)
+        cached = self._latency_cache.get(key)
+        if cached is not None:
+            self.statistics.latency_hits += 1
+            return cached
+        self.statistics.latency_misses += 1
+        seconds, calls = _tune_entry((self.platform, shape, sequence,
+                                      self.tuner_trials, self.seed))
+        self.statistics.tuner_calls += calls
+        self._latency_cache[key] = seconds
+        return seconds
+
+    def tune_many(self, items: Iterable[tuple[ConvolutionShape, SequenceSpec]],
+                  parallel: str | None = None,
+                  max_workers: int | None = None) -> list[float]:
+        """Batch form of :meth:`tuned_latency`.
+
+        Deduplicates the requests, tunes only the cache misses — serially
+        or on a thread/process pool — and returns the latencies in request
+        order.  Each miss is an independent pure function of its key, so
+        the parallel result is bit-for-bit identical to the serial one.
+        """
+        parallel = parallel or self.parallel
+        if parallel not in PARALLEL_MODES:
+            raise EngineError(
+                f"unknown parallel mode '{parallel}'; expected one of {PARALLEL_MODES}")
+        items = list(items)
+        missing: dict[LatencyKey, tuple[ConvolutionShape, SequenceSpec]] = {}
+        for shape, sequence in items:
+            key = self.latency_key(shape, sequence)
+            if key not in self._latency_cache and key not in missing:
+                missing[key] = (shape, sequence)
+        if missing:
+            tasks = [(self.platform, shape, sequence, self.tuner_trials, self.seed)
+                     for shape, sequence in missing.values()]
+            if parallel == "serial" or len(tasks) == 1:
+                outcomes = [_tune_entry(task) for task in tasks]
+            else:
+                if parallel == "thread":
+                    from concurrent.futures import ThreadPoolExecutor as Executor
+                else:
+                    from concurrent.futures import ProcessPoolExecutor as Executor
+                workers = max_workers or self.max_workers
+                with Executor(max_workers=workers) as pool:
+                    outcomes = list(pool.map(_tune_entry, tasks))
+            for key, (seconds, calls) in zip(missing, outcomes):
+                self._latency_cache[key] = seconds
+                self.statistics.tuner_calls += calls
+        self.statistics.latency_misses += len(missing)
+        self.statistics.latency_hits += len(items) - len(missing)
+        return [self._latency_cache[self.latency_key(shape, sequence)]
+                for shape, sequence in items]
+
+    def workloads_latency(self, workloads: Iterable[LayerWorkload],
+                          sequence: SequenceSpec | None = None,
+                          parallel: str | None = None) -> float:
+        """Summed latency of ``workloads``, each under ``sequence`` (default standard)."""
+        sequence = sequence or SequenceSpec(kind="standard")
+        return sum(self.tune_many([(w.shape, sequence) for w in workloads],
+                                  parallel=parallel))
+
+    # ------------------------------------------------------------------
+    # The Fisher oracle
+    # ------------------------------------------------------------------
+    def fisher_oracle(self, profile) -> FisherOracle:
+        """A memoised candidate-Fisher oracle scoped to one network profile."""
+        return FisherOracle(self, profile)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save_cache(self, path: str | Path | None = None) -> Path:
+        """Write the latency cache to disk (pickle; keys carry full context)."""
+        target = Path(path) if path is not None else self.cache_path
+        if target is None:
+            raise EngineError("no cache path given and the engine has none configured")
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"version": CACHE_FORMAT_VERSION, "entries": dict(self._latency_cache)}
+        # Write-then-rename so concurrent readers (other processes sharing the
+        # cache) never observe a truncated file.
+        scratch = target.with_name(target.name + f".tmp.{os.getpid()}")
+        with open(scratch, "wb") as handle:
+            pickle.dump(payload, handle)
+        os.replace(scratch, target)
+        return target
+
+    def load_cache(self, path: str | Path | None = None) -> int:
+        """Merge a persisted cache into this engine; returns entries loaded.
+
+        In-memory entries win on conflict — they were computed by this very
+        engine, the file may predate it.
+        """
+        source = Path(path) if path is not None else self.cache_path
+        if source is None:
+            raise EngineError("no cache path given and the engine has none configured")
+        try:
+            with open(source, "rb") as handle:
+                payload = pickle.load(handle)
+            entries = payload["entries"]
+            version = payload["version"]
+        except FileNotFoundError:
+            raise
+        except Exception as exc:
+            raise EngineError(f"corrupt engine cache at {source}: {exc}") from exc
+        if version != CACHE_FORMAT_VERSION:
+            raise EngineError(
+                f"engine cache at {source} has format version {version}; "
+                f"this build reads version {CACHE_FORMAT_VERSION}")
+        loaded = 0
+        for key, seconds in entries.items():
+            if key not in self._latency_cache:
+                self._latency_cache[key] = seconds
+                loaded += 1
+        self.statistics.loaded_entries += loaded
+        return loaded

@@ -8,6 +8,11 @@ columns:
 * ``NAS``  — the BlockSwap-compressed network, compiled the same way;
 * ``Ours`` — the unified search interleaving neural and program
   transformations with Fisher-Potential legality.
+
+All three approaches draw their latencies from one shared
+:class:`~repro.core.engine.EvaluationEngine`, so each unique
+(shape, sequence) pair is tuned exactly once per platform regardless of
+how many approaches, networks or repeated runs ask for it.
 """
 
 from __future__ import annotations
@@ -17,16 +22,15 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.engine import EvaluationEngine
 from repro.core.search import UnifiedSearch, UnifiedSearchResult
 from repro.core.unified_space import UnifiedSpaceConfig
 from repro.core.workloads import LayerWorkload, extract_workloads
 from repro.data import SyntheticImageDataset
+from repro.errors import ReproError
 from repro.hardware.platform import PlatformSpec, get_platform
 from repro.nas.blockswap import BlockSwap, BlockSwapResult
 from repro.nn.module import Module
-from repro.tenir.autotune import AutoTuner
-from repro.tenir.expr import conv2d_compute, grouped_conv2d_compute
-from repro.utils import make_rng
 
 
 @dataclass(frozen=True)
@@ -103,28 +107,29 @@ class ComparisonResult:
 # Latency of a concrete model
 # ---------------------------------------------------------------------------
 def network_latency(model: Module, input_shape: tuple[int, int, int],
-                    platform: PlatformSpec, tuner_trials: int = 6) -> float:
+                    platform: PlatformSpec, tuner_trials: int = 6, *,
+                    engine: EvaluationEngine | None = None,
+                    seed: int | None = 0) -> float:
     """Auto-tuned latency of every convolution in ``model``, summed."""
     workloads = extract_workloads(model, input_shape)
-    return workload_latency(workloads, platform, tuner_trials)
+    return workload_latency(workloads, platform, tuner_trials, engine=engine, seed=seed)
 
 
 def workload_latency(workloads: list[LayerWorkload], platform: PlatformSpec,
-                     tuner_trials: int = 6) -> float:
-    """Auto-tuned latency of a list of convolution workloads."""
-    tuner = AutoTuner(trials=tuner_trials, seed=0)
-    cache: dict = {}
-    total = 0.0
-    for workload in workloads:
-        shape = workload.shape
-        if shape not in cache:
-            if shape.groups > 1:
-                computation = grouped_conv2d_compute(shape, shape.groups)
-            else:
-                computation = conv2d_compute(shape)
-            cache[shape] = tuner.tune(computation, platform).seconds
-        total += cache[shape]
-    return total
+                     tuner_trials: int = 6, *,
+                     engine: EvaluationEngine | None = None,
+                     seed: int | None = 0) -> float:
+    """Auto-tuned latency of a list of convolution workloads.
+
+    With ``engine`` given, latencies come from (and warm) its shared cache;
+    otherwise a throwaway engine seeded by ``seed`` is used.
+    """
+    if engine is not None and engine.platform.name != platform.name:
+        raise ReproError(
+            f"engine is bound to platform '{engine.platform.name}', "
+            f"the measurement targets '{platform.name}'")
+    engine = engine or EvaluationEngine(platform, tuner_trials=tuner_trials, seed=seed)
+    return engine.workloads_latency(workloads)
 
 
 # ---------------------------------------------------------------------------
@@ -133,10 +138,18 @@ def workload_latency(workloads: list[LayerWorkload], platform: PlatformSpec,
 def compare_approaches(network: str, model_builder: Callable[[], Module],
                        platform_name: str, *, scale: PipelineScale | None = None,
                        dataset: SyntheticImageDataset | None = None,
-                       seed: int = 0) -> ComparisonResult:
-    """Produce one Figure-4 panel: TVM vs NAS vs Ours for one network/platform."""
+                       seed: int = 0,
+                       engine: EvaluationEngine | None = None) -> ComparisonResult:
+    """Produce one Figure-4 panel: TVM vs NAS vs Ours for one network/platform.
+
+    The three approaches share ``engine`` (one is created when not given),
+    so each unique workload is tuned exactly once per platform — across a
+    whole Figure-4 driver when the caller passes a per-platform engine.
+    """
     scale = scale or PipelineScale.ci()
     platform = get_platform(platform_name)
+    engine = engine or EvaluationEngine(platform, tuner_trials=scale.tuner_trials,
+                                        seed=seed)
     dataset = dataset or SyntheticImageDataset.cifar10_like(
         train_size=scale.train_size, test_size=scale.test_size,
         image_size=scale.image_size, seed=seed)
@@ -145,14 +158,14 @@ def compare_approaches(network: str, model_builder: Callable[[], Module],
 
     # --- TVM baseline: original model, tuned default schedules.
     tvm_model = model_builder()
-    tvm_latency = network_latency(tvm_model, input_shape, platform, scale.tuner_trials)
+    tvm_latency = network_latency(tvm_model, input_shape, platform, engine=engine)
     tvm = ApproachMeasurement("TVM", tvm_latency, tvm_model.num_parameters())
 
     # --- NAS baseline: BlockSwap compression, then the same compilation.
     nas_model = model_builder()
     blockswap = BlockSwap(budget_ratio=scale.blockswap_budget, seed=seed)
     blockswap_result = blockswap.compress(nas_model, images, labels)
-    nas_latency = network_latency(nas_model, input_shape, platform, scale.tuner_trials)
+    nas_latency = network_latency(nas_model, input_shape, platform, engine=engine)
     nas = ApproachMeasurement(
         "NAS", nas_latency, nas_model.num_parameters(),
         details={"substitutions": len(blockswap_result.substitutions),
@@ -161,19 +174,24 @@ def compare_approaches(network: str, model_builder: Callable[[], Module],
     # --- Ours: the unified search.
     ours_model = model_builder()
     search = UnifiedSearch(platform, configurations=scale.configurations,
-                           tuner_trials=scale.tuner_trials,
-                           space=UnifiedSpaceConfig(seed=seed), seed=seed)
+                           space=UnifiedSpaceConfig(seed=seed), seed=seed,
+                           engine=engine)
     search_result = search.search(ours_model, images, labels, input_shape)
     # Non-convolution-layer costs (none here — only convolutions are timed) are
     # identical across approaches, so the comparison uses the conv totals.
     non_replaceable = _non_searched_latency(ours_model, search_result, input_shape,
-                                            platform, scale.tuner_trials)
+                                            platform, engine)
     ours_latency = search_result.optimized_latency_seconds + non_replaceable
     tvm_equivalent = search_result.baseline_latency_seconds + non_replaceable
-    # Guard against accounting drift between the two extraction passes.
-    scale_fix = tvm_latency / max(tvm_equivalent, 1e-12)
+    # Both totals come from identical engine cache entries; they can differ
+    # only by floating-point summation order.
+    if not np.isclose(tvm_latency, tvm_equivalent, rtol=1e-9, atol=1e-15):
+        raise ReproError(
+            f"latency accounting drift: the TVM baseline measured "
+            f"{tvm_latency!r}s but the search's TVM-equivalent total is "
+            f"{tvm_equivalent!r}s for {network} on {platform_name}")
     ours = ApproachMeasurement(
-        "Ours", ours_latency * scale_fix, ours_model.num_parameters(),
+        "Ours", ours_latency, ours_model.num_parameters(),
         details={"rejection_rate": search_result.statistics.rejection_rate,
                  "search_seconds": search_result.statistics.search_seconds})
 
@@ -184,10 +202,10 @@ def compare_approaches(network: str, model_builder: Callable[[], Module],
 
 def _non_searched_latency(model: Module, result: UnifiedSearchResult,
                           input_shape: tuple[int, int, int], platform: PlatformSpec,
-                          tuner_trials: int) -> float:
+                          engine: EvaluationEngine) -> float:
     """Latency of convolutions the search did not touch (stems, shortcuts)."""
     searched = set(result.choices)
     workloads = [w for w in extract_workloads(model, input_shape) if w.name not in searched]
     if not workloads:
         return 0.0
-    return workload_latency(workloads, platform, tuner_trials)
+    return engine.workloads_latency(workloads)

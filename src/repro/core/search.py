@@ -10,9 +10,18 @@ The search follows the paper's procedure:
 4. auto-tune the surviving operators' schedules on the target platform and
    keep the configuration with the lowest estimated latency.
 
-Per-layer Fisher scores and per-(shape, sequence) tuned latencies are
-cached so that evaluating many configurations is cheap, mirroring the
-paper's observation that 1000 configurations take under five minutes.
+Per-layer Fisher scores and per-(shape, sequence) tuned latencies come
+from a shared :class:`~repro.core.engine.EvaluationEngine`, so evaluating
+many configurations is cheap — and a second search against a warm engine
+re-tunes nothing at all — mirroring the paper's observation that 1000
+configurations take under five minutes.
+
+Search strategies are pluggable: a strategy is a class implementing
+:class:`SearchStrategy` over a :class:`_SearchContext` and registered in
+:data:`SEARCH_STRATEGY_REGISTRY` with the :func:`register_strategy`
+decorator (see DESIGN.md §6).  The paper's random enumeration, a
+latency-greedy construction, a small evolutionary search and a
+first-improvement local search ship by default.
 """
 
 from __future__ import annotations
@@ -20,19 +29,19 @@ from __future__ import annotations
 import time
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Protocol
 
 import numpy as np
 
+from repro.core.engine import EvaluationEngine, FisherOracle
 from repro.core.sequences import SequenceSpec
 from repro.core.unified_space import UnifiedSpace, UnifiedSpaceConfig
 from repro.core.workloads import LayerWorkload, extract_workloads
-from repro.errors import ModelError, SearchError, TransformError
-from repro.fisher import FisherLegalityChecker, candidate_layer_fisher, fisher_profile
+from repro.errors import ModelError, SearchError
+from repro.fisher import FisherLegalityChecker, fisher_profile
 from repro.hardware.platform import PlatformSpec
 from repro.nn.convs import DerivedConv2d
-from repro.nn.module import Module
 from repro.poly.statement import ConvolutionShape
-from repro.tenir.autotune import AutoTuner
 from repro.utils import make_rng
 
 
@@ -78,8 +87,8 @@ class _SearchContext:
     candidates: dict[str, list[SequenceSpec]]
     profile: object
     checker: FisherLegalityChecker
-    latency_cache: dict
-    fisher_cache: dict
+    engine: EvaluationEngine
+    fisher: FisherOracle
     baseline_latency: dict[str, float]
     standard: SequenceSpec
     rng: np.random.Generator
@@ -114,10 +123,191 @@ class UnifiedSearchResult:
         return {name: choice.sequence for name, choice in self.choices.items()}
 
 
-#: Search strategies: the paper's random enumeration, a latency-greedy
-#: variant, and a small evolutionary search (the latter two are used by the
-#: search-strategy ablation benchmark).
-SEARCH_STRATEGIES = ("greedy", "random", "evolutionary")
+# ---------------------------------------------------------------------------
+# The strategy registry
+# ---------------------------------------------------------------------------
+class SearchStrategy(Protocol):
+    """A search procedure over the unified space.
+
+    Implementations receive the configured :class:`UnifiedSearch` (for the
+    budget, threshold and evaluation helpers) and the per-run
+    :class:`_SearchContext`, and return the best ``(assignment, latency)``
+    found — or ``(None, inf)`` when every candidate was rejected.
+    """
+
+    name: str
+
+    def run(self, search: "UnifiedSearch", context: _SearchContext
+            ) -> tuple[dict[str, SequenceSpec] | None, float]:
+        ...
+
+
+#: Registered search strategies, keyed by name.  Extend with
+#: :func:`register_strategy`; drivers never need to change.
+SEARCH_STRATEGY_REGISTRY: dict[str, type] = {}
+
+
+def register_strategy(name: str):
+    """Class decorator registering a :class:`SearchStrategy` under ``name``."""
+
+    def decorate(cls):
+        if name in SEARCH_STRATEGY_REGISTRY:
+            raise SearchError(f"search strategy '{name}' is already registered")
+        cls.name = name
+        SEARCH_STRATEGY_REGISTRY[name] = cls
+        return cls
+
+    return decorate
+
+
+def get_strategy(name: str) -> SearchStrategy:
+    """Instantiate the registered strategy ``name`` (:class:`SearchError` if unknown)."""
+    try:
+        cls = SEARCH_STRATEGY_REGISTRY[name]
+    except KeyError:
+        known = tuple(SEARCH_STRATEGY_REGISTRY)
+        raise SearchError(f"unknown strategy '{name}'; expected one of {known}") from None
+    return cls()
+
+
+@register_strategy("greedy")
+class GreedyStrategy:
+    """Latency-greedy construction under the network Fisher constraint.
+
+    Layers are visited in order of their baseline cost; each layer takes
+    the fastest candidate that keeps the running network potential at or
+    above the threshold.  Candidates rejected along the way count
+    towards the rejection statistics (they are configurations the
+    search proposed and Fisher refused).
+    """
+
+    def run(self, search: "UnifiedSearch", context: _SearchContext):
+        assignment = {w.name: context.standard for w in context.workloads}
+        replacements: dict[str, float] = {}
+        ordered = sorted(context.workloads,
+                         key=lambda w: context.baseline_latency[w.name], reverse=True)
+        for workload in ordered:
+            candidates = sorted(
+                context.candidates[workload.name],
+                key=lambda seq: search._layer_latency(context, workload.name, seq))
+            original_score = context.profile.score_of(workload.name)
+            for sequence in candidates:
+                if not sequence.is_neural:
+                    break  # reached the standard sequence: nothing faster is legal
+                score = search._layer_fisher(context, workload, sequence)
+                context.statistics.configurations_evaluated += 1
+                if not np.isfinite(score):
+                    context.statistics.configurations_rejected += 1
+                    continue
+                # The greedy construction strengthens the paper's rule: the
+                # substituted layer must itself retain its Fisher score and
+                # the running network total must stay above the threshold.
+                # Without the per-layer condition a few lucky high-scoring
+                # layers would buy slack for damaging substitutions later.
+                if score < search.fisher_threshold * original_score:
+                    context.statistics.configurations_rejected += 1
+                    continue
+                trial = dict(replacements)
+                trial[workload.name] = score
+                decision = context.checker.check_layer_scores(trial)
+                if decision.legal:
+                    assignment[workload.name] = sequence
+                    replacements[workload.name] = score
+                    break
+                context.statistics.configurations_rejected += 1
+        return assignment, search._assignment_latency(context, assignment)
+
+
+@register_strategy("random")
+class RandomStrategy:
+    """The paper's procedure: random configurations, Fisher filter, best wins."""
+
+    def run(self, search: "UnifiedSearch", context: _SearchContext):
+        best_assignment, best_latency = None, float("inf")
+        for _ in range(search.configurations):
+            assignment = search.space.sample_assignment(context.shapes, context.candidates,
+                                                        context.rng)
+            if not search._assignment_legal(context, assignment):
+                continue
+            latency = search._assignment_latency(context, assignment)
+            if latency < best_latency:
+                best_assignment, best_latency = assignment, latency
+        return best_assignment, best_latency
+
+
+@register_strategy("evolutionary")
+class EvolutionaryStrategy:
+    """Small (mu + lambda) evolutionary search used by the ablation."""
+
+    def run(self, search: "UnifiedSearch", context: _SearchContext):
+        population_size = max(4, min(12, search.configurations // 8))
+        generations = max(1, search.configurations // population_size - 1)
+        population: list[tuple[dict[str, SequenceSpec], float]] = []
+        while (len(population) < population_size
+               and context.statistics.configurations_evaluated < search.configurations):
+            assignment = search.space.sample_assignment(context.shapes, context.candidates,
+                                                        context.rng)
+            if search._assignment_legal(context, assignment):
+                population.append((assignment,
+                                   search._assignment_latency(context, assignment)))
+        if not population:
+            return None, float("inf")
+        for _ in range(generations):
+            population.sort(key=lambda item: item[1])
+            parents = population[:max(2, population_size // 2)]
+            children = []
+            for parent_assignment, _ in parents:
+                child = dict(parent_assignment)
+                layer = context.workloads[
+                    int(context.rng.integers(0, len(context.workloads)))].name
+                options = context.candidates[layer]
+                child[layer] = options[int(context.rng.integers(0, len(options)))]
+                if search._assignment_legal(context, child):
+                    children.append((child, search._assignment_latency(context, child)))
+            population = (population + children)
+            population.sort(key=lambda item: item[1])
+            population = population[:population_size]
+        best_assignment, best_latency = min(population, key=lambda item: item[1])
+        return best_assignment, best_latency
+
+
+@register_strategy("local")
+class LocalSearchStrategy:
+    """First-improvement hill climbing from the program-only configuration.
+
+    The classic NAS local search (cf. the nas-encodings harness): start at
+    the always-legal standard assignment and repeatedly substitute the
+    first single-layer change that is both legal and faster, until the
+    configuration budget is exhausted or no move improves.
+    """
+
+    def run(self, search: "UnifiedSearch", context: _SearchContext):
+        assignment = {w.name: context.standard for w in context.workloads}
+        best_latency = search._assignment_latency(context, assignment)
+        improved = True
+        while (improved
+               and context.statistics.configurations_evaluated < search.configurations):
+            improved = False
+            for workload in context.workloads:
+                for sequence in context.candidates[workload.name]:
+                    if context.statistics.configurations_evaluated >= search.configurations:
+                        return assignment, best_latency
+                    if sequence == assignment[workload.name]:
+                        continue
+                    trial = dict(assignment)
+                    trial[workload.name] = sequence
+                    if not search._assignment_legal(context, trial):
+                        continue
+                    latency = search._assignment_latency(context, trial)
+                    if latency < best_latency:
+                        assignment, best_latency = trial, latency
+                        improved = True
+        return assignment, best_latency
+
+
+#: Names of the built-in strategies (kept for backwards compatibility and
+#: test parametrisation; the registry is the source of truth).
+SEARCH_STRATEGIES = tuple(SEARCH_STRATEGY_REGISTRY)
 
 
 class UnifiedSearch:
@@ -126,54 +316,29 @@ class UnifiedSearch:
     def __init__(self, platform: PlatformSpec, *, configurations: int = 100,
                  tuner_trials: int = 8, fisher_threshold: float = 1.0,
                  strategy: str = "greedy",
-                 space: UnifiedSpaceConfig | None = None, seed: int | None = None):
+                 space: UnifiedSpaceConfig | None = None, seed: int | None = None,
+                 engine: EvaluationEngine | None = None):
         if configurations < 1:
             raise SearchError("the search needs at least one configuration")
-        if strategy not in SEARCH_STRATEGIES:
+        get_strategy(strategy)  # fail fast on unknown names
+        if engine is not None and engine.platform.name != platform.name:
             raise SearchError(
-                f"unknown strategy '{strategy}'; expected one of {SEARCH_STRATEGIES}")
+                f"engine is bound to platform '{engine.platform.name}', "
+                f"the search targets '{platform.name}'")
         self.platform = platform
         self.configurations = configurations
-        self.tuner_trials = tuner_trials
         self.fisher_threshold = fisher_threshold
         self.strategy = strategy
         self.space = UnifiedSpace(space or UnifiedSpaceConfig())
         self.seed = seed
+        # The engine owns the tuner configuration; reproducibility is
+        # controlled by the one seed threaded through it.
+        self.engine = engine or EvaluationEngine(platform, tuner_trials=tuner_trials,
+                                                 seed=seed)
+        self.tuner_trials = self.engine.tuner_trials
 
     # ------------------------------------------------------------------
-    # Per-layer caches
-    # ------------------------------------------------------------------
-    def _tuned_latency(self, shape: ConvolutionShape, sequence: SequenceSpec,
-                       cache: dict) -> float:
-        key = (shape, sequence)
-        if key not in cache:
-            tuner = AutoTuner(trials=self.tuner_trials, seed=0)
-            total = 0.0
-            for computation in sequence.build_computations(shape):
-                total += tuner.tune(computation, self.platform).seconds
-            cache[key] = total
-        return cache[key]
-
-    def _candidate_fisher(self, workload: LayerWorkload, sequence: SequenceSpec,
-                          record, cache: dict) -> float:
-        key = (workload.name, sequence)
-        if key not in cache:
-            if not sequence.is_neural:
-                cache[key] = record.score
-            else:
-                config = sequence.conv_config(workload.shape)
-                try:
-                    candidate = DerivedConv2d(
-                        record.in_channels, record.out_channels, record.kernel_size,
-                        stride=record.stride, padding=record.padding, config=config,
-                        rng=make_rng(0))
-                    cache[key] = candidate_layer_fisher(record, candidate)
-                except (ModelError, TransformError):
-                    cache[key] = -np.inf
-        return cache[key]
-
-    # ------------------------------------------------------------------
-    def search(self, model: Module, images: np.ndarray, labels: np.ndarray,
+    def search(self, model, images: np.ndarray, labels: np.ndarray,
                input_shape: tuple[int, int, int]) -> UnifiedSearchResult:
         """Run the unified search for ``model`` on this search's platform."""
         start = time.perf_counter()
@@ -188,16 +353,21 @@ class UnifiedSearch:
 
         per_layer_candidates: dict[str, list[SequenceSpec]] = {}
         shapes: dict[str, ConvolutionShape] = {}
+        # Candidate generation restarts from the space seed on every run, so
+        # a repeated search proposes identical sequences and the warm engine
+        # answers every latency query from cache.
+        space_rng = self.space.fresh_rng()
         for workload in workloads:
-            per_layer_candidates[workload.name] = self.space.candidate_sequences(workload.shape)
+            per_layer_candidates[workload.name] = self.space.candidate_sequences(
+                workload.shape, rng=space_rng)
             shapes[workload.name] = workload.shape
 
-        latency_cache: dict = {}
-        fisher_cache: dict = {}
         standard = SequenceSpec(kind="standard")
-        baseline_latency = {
-            w.name: self._tuned_latency(w.shape, standard, latency_cache) for w in workloads
-        }
+        # Batch-tune the baselines up front (deduplicated; parallel when the
+        # engine is configured for it).
+        baseline_latency = dict(zip(
+            (w.name for w in workloads),
+            self.engine.tune_many([(w.shape, standard) for w in workloads])))
         total_baseline = sum(baseline_latency.values())
 
         statistics = SearchStatistics(
@@ -206,16 +376,12 @@ class UnifiedSearch:
         )
         context = _SearchContext(
             workloads=workloads, shapes=shapes, candidates=per_layer_candidates,
-            profile=profile, checker=checker, latency_cache=latency_cache,
-            fisher_cache=fisher_cache, baseline_latency=baseline_latency,
+            profile=profile, checker=checker, engine=self.engine,
+            fisher=self.engine.fisher_oracle(profile),
+            baseline_latency=baseline_latency,
             standard=standard, rng=rng, statistics=statistics,
         )
-        if self.strategy == "greedy":
-            best_assignment, best_latency = self._search_greedy(context)
-        elif self.strategy == "random":
-            best_assignment, best_latency = self._search_random(context)
-        else:
-            best_assignment, best_latency = self._search_evolutionary(context)
+        best_assignment, best_latency = get_strategy(self.strategy).run(self, context)
 
         if best_assignment is None:
             # Every sampled configuration was rejected: fall back to the
@@ -227,9 +393,8 @@ class UnifiedSearch:
         optimized_fisher = profile.total
         for workload in workloads:
             sequence = best_assignment[workload.name]
-            layer_latency = self._tuned_latency(workload.shape, sequence, latency_cache)
-            fisher_score = self._candidate_fisher(workload, sequence,
-                                                  profile.layers[workload.name], fisher_cache)
+            layer_latency = self.engine.tuned_latency(workload.shape, sequence)
+            fisher_score = context.fisher.candidate_fisher(workload, sequence)
             optimized_fisher += fisher_score - profile.score_of(workload.name)
             choices[workload.name] = LayerChoice(
                 layer=workload.name,
@@ -252,24 +417,22 @@ class UnifiedSearch:
         )
 
     # ------------------------------------------------------------------
-    # Search strategies
+    # Evaluation helpers shared by the strategies
     # ------------------------------------------------------------------
-    def _layer_latency(self, context: "_SearchContext", layer: str,
+    def _layer_latency(self, context: _SearchContext, layer: str,
                        sequence: SequenceSpec) -> float:
-        return self._tuned_latency(context.shapes[layer], sequence, context.latency_cache)
+        return context.engine.tuned_latency(context.shapes[layer], sequence)
 
-    def _layer_fisher(self, context: "_SearchContext", workload: LayerWorkload,
+    def _layer_fisher(self, context: _SearchContext, workload: LayerWorkload,
                       sequence: SequenceSpec) -> float:
-        return self._candidate_fisher(workload, sequence,
-                                      context.profile.layers[workload.name],
-                                      context.fisher_cache)
+        return context.fisher.candidate_fisher(workload, sequence)
 
-    def _assignment_latency(self, context: "_SearchContext",
+    def _assignment_latency(self, context: _SearchContext,
                             assignment: dict[str, SequenceSpec]) -> float:
         return sum(self._layer_latency(context, w.name, assignment[w.name])
                    for w in context.workloads)
 
-    def _assignment_legal(self, context: "_SearchContext",
+    def _assignment_legal(self, context: _SearchContext,
                           assignment: dict[str, SequenceSpec]) -> bool:
         """Check a whole configuration's Fisher Potential, updating the stats."""
         replacements: dict[str, float] = {}
@@ -288,95 +451,9 @@ class UnifiedSearch:
             context.statistics.configurations_rejected += 1
         return decision.legal
 
-    def _search_random(self, context: "_SearchContext"):
-        """The paper's procedure: random configurations, Fisher filter, best wins."""
-        best_assignment, best_latency = None, float("inf")
-        for _ in range(self.configurations):
-            assignment = self.space.sample_assignment(context.shapes, context.candidates,
-                                                      context.rng)
-            if not self._assignment_legal(context, assignment):
-                continue
-            latency = self._assignment_latency(context, assignment)
-            if latency < best_latency:
-                best_assignment, best_latency = assignment, latency
-        return best_assignment, best_latency
-
-    def _search_greedy(self, context: "_SearchContext"):
-        """Latency-greedy construction under the network Fisher constraint.
-
-        Layers are visited in order of their baseline cost; each layer takes
-        the fastest candidate that keeps the running network potential at or
-        above the threshold.  Candidates rejected along the way count
-        towards the rejection statistics (they are configurations the
-        search proposed and Fisher refused).
-        """
-        assignment = {w.name: context.standard for w in context.workloads}
-        replacements: dict[str, float] = {}
-        ordered = sorted(context.workloads,
-                         key=lambda w: context.baseline_latency[w.name], reverse=True)
-        for workload in ordered:
-            candidates = sorted(
-                context.candidates[workload.name],
-                key=lambda seq: self._layer_latency(context, workload.name, seq))
-            original_score = context.profile.score_of(workload.name)
-            for sequence in candidates:
-                if not sequence.is_neural:
-                    break  # reached the standard sequence: nothing faster is legal
-                score = self._layer_fisher(context, workload, sequence)
-                context.statistics.configurations_evaluated += 1
-                if not np.isfinite(score):
-                    context.statistics.configurations_rejected += 1
-                    continue
-                # The greedy construction strengthens the paper's rule: the
-                # substituted layer must itself retain its Fisher score and
-                # the running network total must stay above the threshold.
-                # Without the per-layer condition a few lucky high-scoring
-                # layers would buy slack for damaging substitutions later.
-                if score < self.fisher_threshold * original_score:
-                    context.statistics.configurations_rejected += 1
-                    continue
-                trial = dict(replacements)
-                trial[workload.name] = score
-                decision = context.checker.check_layer_scores(trial)
-                if decision.legal:
-                    assignment[workload.name] = sequence
-                    replacements[workload.name] = score
-                    break
-                context.statistics.configurations_rejected += 1
-        return assignment, self._assignment_latency(context, assignment)
-
-    def _search_evolutionary(self, context: "_SearchContext"):
-        """Small (mu + lambda) evolutionary search used by the ablation."""
-        population_size = max(4, min(12, self.configurations // 8))
-        generations = max(1, self.configurations // population_size - 1)
-        population: list[tuple[dict[str, SequenceSpec], float]] = []
-        while len(population) < population_size and context.statistics.configurations_evaluated < self.configurations:
-            assignment = self.space.sample_assignment(context.shapes, context.candidates,
-                                                      context.rng)
-            if self._assignment_legal(context, assignment):
-                population.append((assignment, self._assignment_latency(context, assignment)))
-        if not population:
-            return None, float("inf")
-        for _ in range(generations):
-            population.sort(key=lambda item: item[1])
-            parents = population[:max(2, population_size // 2)]
-            children = []
-            for parent_assignment, _ in parents:
-                child = dict(parent_assignment)
-                layer = context.workloads[int(context.rng.integers(0, len(context.workloads)))].name
-                options = context.candidates[layer]
-                child[layer] = options[int(context.rng.integers(0, len(options)))]
-                if self._assignment_legal(context, child):
-                    children.append((child, self._assignment_latency(context, child)))
-            population = (population + children)
-            population.sort(key=lambda item: item[1])
-            population = population[:population_size]
-        best_assignment, best_latency = min(population, key=lambda item: item[1])
-        return best_assignment, best_latency
-
     # ------------------------------------------------------------------
-    def materialize(self, model: Module, result: UnifiedSearchResult,
-                    seed: int | None = None) -> Module:
+    def materialize(self, model, result: UnifiedSearchResult,
+                    seed: int | None = None):
         """Substitute the chosen operators into the model (in place).
 
         Only layers whose chosen sequence is neural are touched; layers

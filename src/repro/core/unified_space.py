@@ -76,19 +76,30 @@ class UnifiedSpace:
         self.config = config or UnifiedSpaceConfig()
         self._rng = make_rng(self.config.seed)
 
-    def candidate_sequences(self, shape: ConvolutionShape) -> list[SequenceSpec]:
+    def fresh_rng(self) -> np.random.Generator:
+        """An RNG restarted from the configured seed.
+
+        One per search run makes candidate generation a pure function of
+        the space configuration, so repeated searches propose identical
+        sequences and hit the evaluation engine's cache instead of tuning.
+        """
+        return make_rng(self.config.seed)
+
+    def candidate_sequences(self, shape: ConvolutionShape,
+                            rng: np.random.Generator | None = None) -> list[SequenceSpec]:
         """All applicable candidate sequences for one convolution shape.
 
         The ``standard`` sequence (program transformations only) is always
         present, so every layer keeps a legal fall-back.
         """
+        rng = self._rng if rng is None else rng
         candidates: dict[str, SequenceSpec] = {"standard": SequenceSpec(kind="standard")}
         if self.config.include_paper_sequences:
             candidates.update(paper_sequences())
         if self.config.include_nas_candidates:
             candidates.update(nas_candidate_sequences())
         for index in range(self.config.random_sequences_per_layer):
-            spec = random_sequence(self._rng)
+            spec = random_sequence(rng)
             candidates.setdefault(f"random_{index}_{spec.kind}", spec)
         return [spec for spec in candidates.values() if spec.applicable(shape)]
 

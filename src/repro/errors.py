@@ -39,6 +39,10 @@ class SearchError(ReproError):
     """Raised when a search procedure is misconfigured."""
 
 
+class EngineError(ReproError):
+    """Raised when the evaluation engine is misconfigured or its cache is corrupt."""
+
+
 class ModelError(ReproError):
     """Raised when a neural-network model definition is invalid."""
 

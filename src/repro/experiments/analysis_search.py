@@ -18,6 +18,7 @@ from repro.experiments.common import (
     ExperimentScale,
     cifar_dataset,
     cifar_model_builders,
+    evaluation_engine,
     format_table,
     get_scale,
 )
@@ -61,8 +62,9 @@ def run(scale: str | ExperimentScale = "ci", seed: int = 0,
 
     search_model = builder()
     search = UnifiedSearch(plat, configurations=scale.pipeline.configurations,
-                           tuner_trials=scale.pipeline.tuner_trials, strategy=strategy,
-                           space=UnifiedSpaceConfig(seed=seed), seed=seed)
+                           strategy=strategy,
+                           space=UnifiedSpaceConfig(seed=seed), seed=seed,
+                           engine=evaluation_engine(plat, scale, seed=seed))
     outcome = search.search(search_model, images, labels, dataset.spec.image_shape)
     optimized = search.materialize(builder(), outcome, seed=seed)
     optimized_fit = proxy_fit(optimized, loader, held_out, epochs=scale.proxy_epochs)

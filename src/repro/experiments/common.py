@@ -10,11 +10,14 @@ EXPERIMENTS.md records measured values against the paper's for both.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.core.engine import EvaluationEngine
 from repro.core.pipeline import PipelineScale
 from repro.data import SyntheticImageDataset
 from repro.errors import ReproError
+from repro.hardware.platform import PlatformSpec, get_platform
 from repro.models import densenet161, densenet169, densenet201, resnet18, resnet34, resnext29_2x64d
 from repro.nn.module import Module
 
@@ -63,6 +66,20 @@ def get_scale(scale: str | ExperimentScale) -> ExperimentScale:
     if scale == "full":
         return ExperimentScale.full()
     raise ReproError(f"unknown scale '{scale}'; expected 'ci' or 'full'")
+
+
+def evaluation_engine(platform: str | PlatformSpec, scale: ExperimentScale,
+                      seed: int = 0,
+                      cache_path: str | Path | None = None) -> EvaluationEngine:
+    """One shared evaluation engine for a driver's work on one platform.
+
+    Every latency query of a driver should go through a single engine per
+    platform so tuning work is shared across approaches, networks and
+    repeated runs; ``cache_path`` additionally persists it across processes.
+    """
+    spec = get_platform(platform) if isinstance(platform, str) else platform
+    return EvaluationEngine(spec, tuner_trials=scale.pipeline.tuner_trials,
+                            seed=seed, cache_path=cache_path)
 
 
 def cifar_model_builders(scale: ExperimentScale) -> dict[str, Callable[[], Module]]:

@@ -16,6 +16,7 @@ from repro.experiments.common import (
     ExperimentScale,
     cifar_dataset,
     cifar_model_builders,
+    evaluation_engine,
     format_table,
     get_scale,
 )
@@ -46,12 +47,16 @@ def run(scale: str | ExperimentScale = "ci", seed: int = 0,
     scale = get_scale(scale)
     builders = cifar_model_builders(scale)
     dataset = cifar_dataset(scale, seed=seed)
+    # One engine per platform, shared across the networks: identical
+    # workloads appearing in several panels are tuned once.
+    engines = {platform: evaluation_engine(platform, scale, seed=seed)
+               for platform in platforms}
     result = Fig4Result()
     for network in networks:
         for platform in platforms:
             result.panels[(network, platform)] = compare_approaches(
                 network, builders[network], platform, scale=scale.pipeline,
-                dataset=dataset, seed=seed)
+                dataset=dataset, seed=seed, engine=engines[platform])
     return result
 
 

@@ -11,14 +11,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.engine import EvaluationEngine
 from repro.core.sequences import SequenceSpec, paper_sequences
 from repro.core.workloads import extract_workloads, unique_shapes
-from repro.experiments.common import ExperimentScale, cifar_dataset, format_table, get_scale
+from repro.experiments.common import (
+    ExperimentScale,
+    cifar_dataset,
+    evaluation_engine,
+    format_table,
+    get_scale,
+)
 from repro.fisher import fisher_profile
 from repro.hardware import get_platform
 from repro.models import resnet34
 from repro.poly.statement import ConvolutionShape
-from repro.tenir.autotune import AutoTuner
 
 
 @dataclass
@@ -44,9 +50,10 @@ class Fig6Result:
 
 
 def run(scale: str | ExperimentScale = "ci", seed: int = 0, max_layers: int = 11,
-        platform: str = "cpu") -> Fig6Result:
+        platform: str = "cpu", engine: EvaluationEngine | None = None) -> Fig6Result:
     scale = get_scale(scale)
     plat = get_platform(platform)
+    engine = engine or evaluation_engine(plat, scale, seed=seed)
     dataset = cifar_dataset(scale, seed=seed)
     model = resnet34(width_multiplier=scale.pipeline.width_multiplier)
     images, labels = dataset.random_minibatch(scale.pipeline.fisher_batch, seed=seed)
@@ -69,18 +76,17 @@ def run(scale: str | ExperimentScale = "ci", seed: int = 0, max_layers: int = 11
     sequences.update({f"Seq.{i}": seq for i, seq in
                       enumerate(paper_sequences().values(), start=1)})
 
-    tuner = AutoTuner(trials=scale.pipeline.tuner_trials, seed=0)
     result = Fig6Result(sequences=tuple(sequences))
+    standard = SequenceSpec(kind="standard")
     for index, (shape, name) in enumerate(distinct):
-        baseline = sum(tuner.tune(c, plat).seconds
-                       for c in SequenceSpec(kind="standard").build_computations(shape))
+        baseline = engine.tuned_latency(shape, standard)
         row = LayerRow(layer_index=index, shape=shape, baseline_seconds=baseline,
                        sensitive=profile.score_of(name) >= cutoff)
         for label, sequence in sequences.items():
             if row.sensitive or not sequence.applicable(shape):
                 row.speedups[label] = 1.0
                 continue
-            seconds = sum(tuner.tune(c, plat).seconds for c in sequence.build_computations(shape))
+            seconds = engine.tuned_latency(shape, sequence)
             row.speedups[label] = baseline / max(seconds, 1e-12)
         result.rows.append(row)
     return result

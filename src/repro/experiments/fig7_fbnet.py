@@ -18,6 +18,7 @@ from repro.experiments.common import (
     ExperimentScale,
     cifar_dataset,
     cifar_model_builders,
+    evaluation_engine,
     format_table,
     get_scale,
 )
@@ -69,10 +70,12 @@ def run(scale: str | ExperimentScale = "ci", seed: int = 0,
     builders = cifar_model_builders(scale)
     dataset = cifar_dataset(scale, seed=seed)
     plat = get_platform(platform)
+    engine = evaluation_engine(plat, scale, seed=seed)
     result = Fig7Result()
     for network in networks:
         comparison = compare_approaches(network, builders[network], platform,
-                                        scale=scale.pipeline, dataset=dataset, seed=seed)
+                                        scale=scale.pipeline, dataset=dataset, seed=seed,
+                                        engine=engine)
         speedups = comparison.speedups()
 
         fbnet_model = builders[network]()
@@ -82,7 +85,7 @@ def run(scale: str | ExperimentScale = "ci", seed: int = 0,
         outcome = fbnet.search(fbnet_model, loader, hw)
         selected = _apply_fbnet_plan(builders[network](), outcome.plan())
         fbnet_latency = network_latency(selected, dataset.spec.image_shape, plat,
-                                        scale.pipeline.tuner_trials)
+                                        engine=engine)
         result.rows.append(Fig7Row(
             network=network, tvm=1.0, nas=speedups["NAS"],
             fbnet=comparison.tvm.latency_seconds / fbnet_latency,

@@ -20,6 +20,7 @@ from repro.core.pipeline import network_latency
 from repro.data import test_loader, train_loader
 from repro.experiments.common import (
     ExperimentScale,
+    evaluation_engine,
     format_table,
     get_scale,
     imagenet_dataset,
@@ -67,6 +68,9 @@ def run(scale: str | ExperimentScale = "ci", seed: int = 0, platform: str = "cpu
         builders = {name: builders[name] for name in models}
     dataset = imagenet_dataset(scale, seed=seed)
     plat = get_platform(platform)
+    # One engine for the whole model family: the ResNets and DenseNets share
+    # many convolution shapes, so the later models tune almost nothing new.
+    engine = evaluation_engine(plat, scale, seed=seed)
     images, labels = dataset.random_minibatch(scale.pipeline.fisher_batch, seed=seed)
     loader = train_loader(dataset, batch_size=scale.proxy_batch, seed=seed)
     held_out = test_loader(dataset)
@@ -75,13 +79,13 @@ def run(scale: str | ExperimentScale = "ci", seed: int = 0, platform: str = "cpu
     for name, builder in builders.items():
         original = builder()
         original_latency = network_latency(original, dataset.spec.image_shape, plat,
-                                           scale.pipeline.tuner_trials)
+                                           engine=engine)
         original_fit = proxy_fit(builder(), loader, held_out, epochs=scale.proxy_epochs)
 
         search_model = builder()
         search = UnifiedSearch(plat, configurations=scale.pipeline.configurations,
-                               tuner_trials=scale.pipeline.tuner_trials,
-                               space=UnifiedSpaceConfig(seed=seed), seed=seed)
+                               space=UnifiedSpaceConfig(seed=seed), seed=seed,
+                               engine=engine)
         outcome = search.search(search_model, images, labels, dataset.spec.image_shape)
         optimized = search.materialize(builder(), outcome, seed=seed)
         # Latency accounting mirrors Figure 4: the compiled network consists of

@@ -204,6 +204,12 @@ class TuningResult:
         return self.estimate.seconds
 
 
+def _tune_task(args: tuple[int, int | None, Computation, PlatformSpec]) -> TuningResult:
+    """Tune one computation; a picklable top-level entry for process pools."""
+    trials, seed, computation, platform = args
+    return AutoTuner(trials=trials, seed=seed).tune(computation, platform)
+
+
 class AutoTuner:
     """Random search over schedule-template parameters."""
 
@@ -232,3 +238,27 @@ class AutoTuner:
         if best is None:
             raise ScheduleError("auto-tuning failed to produce a single valid schedule")
         return best
+
+    def tune_many(self, computations: list[Computation], platform: PlatformSpec,
+                  *, parallel: str = "serial",
+                  max_workers: int | None = None) -> list[TuningResult]:
+        """Tune a batch of computations, optionally on an executor pool.
+
+        Each :meth:`tune` call seeds a fresh RNG from ``self.seed``, so the
+        results are independent of evaluation order and the parallel modes
+        (``"thread"`` / ``"process"``) return exactly the serial results.
+        """
+        computations = list(computations)
+        if parallel == "serial" or len(computations) < 2:
+            return [self.tune(computation, platform) for computation in computations]
+        tasks = [(self.trials, self.seed, computation, platform)
+                 for computation in computations]
+        if parallel == "thread":
+            from concurrent.futures import ThreadPoolExecutor as Executor
+        elif parallel == "process":
+            from concurrent.futures import ProcessPoolExecutor as Executor
+        else:
+            raise ScheduleError(
+                f"unknown parallel mode '{parallel}'; expected 'serial', 'thread' or 'process'")
+        with Executor(max_workers=max_workers) as pool:
+            return list(pool.map(_tune_task, tasks))

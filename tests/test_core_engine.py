@@ -1,0 +1,250 @@
+"""Tests for the shared evaluation engine and the strategy registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import SequenceSpec, UnifiedSpaceConfig, compare_approaches
+from repro.core.engine import EvaluationEngine
+from repro.core.pipeline import PipelineScale
+from repro.core.search import (
+    SEARCH_STRATEGY_REGISTRY,
+    UnifiedSearch,
+    get_strategy,
+    register_strategy,
+)
+from repro.data import SyntheticImageDataset
+from repro.errors import EngineError, SearchError
+from repro.hardware import get_platform
+from repro.models import resnet34
+from repro.poly.statement import ConvolutionShape
+from repro.tenir.autotune import AutoTuner
+
+
+def _small_model(seed: int = 0) -> nn.Module:
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.ConvBNReLU(3, 8, 3, rng=rng),
+        nn.BasicResidualBlock(8, 16, stride=2, rng=rng),
+        nn.BasicResidualBlock(16, 16, rng=rng),
+        nn.GlobalAvgPool2d(), nn.Linear(16, 10, rng=rng))
+
+
+@pytest.fixture
+def dataset():
+    return SyntheticImageDataset.cifar10_like(train_size=32, test_size=16, image_size=8, seed=0)
+
+
+@pytest.fixture
+def minibatch(dataset):
+    return dataset.random_minibatch(4, seed=0)
+
+
+@pytest.fixture
+def tune_counter(monkeypatch):
+    """Count every AutoTuner.tune call made anywhere in the process."""
+    calls = {"count": 0}
+    original = AutoTuner.tune
+
+    def counted(self, computation, platform):
+        calls["count"] += 1
+        return original(self, computation, platform)
+
+    monkeypatch.setattr(AutoTuner, "tune", counted)
+    return calls
+
+
+def _items(n: int = 6) -> list[tuple[ConvolutionShape, SequenceSpec]]:
+    shapes = [ConvolutionShape(8 * (1 + i % 2), 8, 4 + 2 * (i % 3), 4 + 2 * (i % 3), 3, 3)
+              for i in range(n)]
+    sequences = [SequenceSpec(kind="standard"), SequenceSpec(kind="group", group=2)]
+    return [(shape, sequences[i % 2]) for i, shape in enumerate(shapes)]
+
+
+class TestEngineCache:
+    def test_tuned_latency_is_memoised(self, tune_counter):
+        engine = EvaluationEngine(get_platform("cpu"), tuner_trials=3, seed=0)
+        shape = ConvolutionShape(8, 8, 6, 6, 3, 3)
+        first = engine.tuned_latency(shape, SequenceSpec(kind="standard"))
+        calls = tune_counter["count"]
+        second = engine.tuned_latency(shape, SequenceSpec(kind="standard"))
+        assert first == second
+        assert tune_counter["count"] == calls
+        assert engine.statistics.latency_hits == 1
+        assert engine.statistics.latency_misses == 1
+
+    def test_second_search_on_warm_engine_does_zero_tuner_calls(
+            self, dataset, minibatch, tune_counter):
+        images, labels = minibatch
+        engine = EvaluationEngine(get_platform("cpu"), tuner_trials=3, seed=0)
+        search = UnifiedSearch(get_platform("cpu"), configurations=10,
+                               space=UnifiedSpaceConfig(seed=0), seed=0, engine=engine)
+        first = search.search(_small_model(), images, labels, dataset.spec.image_shape)
+        warm = tune_counter["count"]
+        assert warm > 0
+        second = search.search(_small_model(), images, labels, dataset.spec.image_shape)
+        assert tune_counter["count"] == warm, "warm engine must not re-tune anything"
+        assert second.optimized_latency_seconds == first.optimized_latency_seconds
+
+    def test_tune_many_parallel_matches_serial_bit_for_bit(self):
+        platform = get_platform("cpu")
+        serial = EvaluationEngine(platform, tuner_trials=3, seed=0)
+        reference = serial.tune_many(_items(), parallel="serial")
+        for mode in ("thread", "process"):
+            engine = EvaluationEngine(platform, tuner_trials=3, seed=0)
+            assert engine.tune_many(_items(), parallel=mode, max_workers=2) == reference
+
+    def test_tune_many_deduplicates_and_orders(self, tune_counter):
+        engine = EvaluationEngine(get_platform("cpu"), tuner_trials=3, seed=0)
+        shape = ConvolutionShape(8, 8, 6, 6, 3, 3)
+        standard = SequenceSpec(kind="standard")
+        results = engine.tune_many([(shape, standard)] * 4)
+        assert len(results) == 4 and len(set(results)) == 1
+        assert tune_counter["count"] == 1
+        assert engine.cache_size == 1
+
+    def test_autotuner_tune_many_parallel_equals_serial(self):
+        from repro.tenir.expr import conv2d_compute
+
+        platform = get_platform("cpu")
+        computations = [conv2d_compute(shape) for shape, _ in _items(4)]
+        tuner = AutoTuner(trials=3, seed=0)
+        serial = [r.seconds for r in tuner.tune_many(computations, platform)]
+        threaded = [r.seconds for r in
+                    tuner.tune_many(computations, platform, parallel="thread")]
+        forked = [r.seconds for r in
+                  tuner.tune_many(computations, platform, parallel="process",
+                                  max_workers=2)]
+        assert serial == threaded == forked
+
+    def test_seed_is_part_of_the_key(self):
+        platform = get_platform("cpu")
+        engine_a = EvaluationEngine(platform, tuner_trials=4, seed=0)
+        engine_b = EvaluationEngine(platform, tuner_trials=4, seed=7)
+        shape = ConvolutionShape(16, 16, 8, 8, 3, 3)
+        standard = SequenceSpec(kind="standard")
+        engine_a.tuned_latency(shape, standard)
+        engine_b.tuned_latency(shape, standard)
+        assert engine_a.cache_keys() != engine_b.cache_keys()
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(EngineError):
+            EvaluationEngine(get_platform("cpu"), tuner_trials=0)
+        with pytest.raises(EngineError):
+            EvaluationEngine(get_platform("cpu"), parallel="gpu")
+        engine = EvaluationEngine(get_platform("cpu"), tuner_trials=2)
+        with pytest.raises(EngineError):
+            engine.tune_many(_items(2), parallel="gpu")
+
+
+class TestDiskCache:
+    def test_round_trip(self, tmp_path, tune_counter):
+        path = tmp_path / "latency.pkl"
+        platform = get_platform("cpu")
+        engine = EvaluationEngine(platform, tuner_trials=3, seed=0, cache_path=path)
+        reference = engine.tune_many(_items())
+        engine.save_cache()
+        cold_calls = tune_counter["count"]
+
+        warm = EvaluationEngine(platform, tuner_trials=3, seed=0, cache_path=path)
+        assert warm.statistics.loaded_entries == engine.cache_size
+        assert warm.tune_many(_items()) == reference
+        assert tune_counter["count"] == cold_calls, "persisted entries must not re-tune"
+
+    def test_different_trials_do_not_collide(self, tmp_path):
+        path = tmp_path / "latency.pkl"
+        platform = get_platform("cpu")
+        engine = EvaluationEngine(platform, tuner_trials=3, seed=0, cache_path=path)
+        engine.tune_many(_items(2))
+        engine.save_cache()
+        other = EvaluationEngine(platform, tuner_trials=5, seed=0, cache_path=path)
+        shape, sequence = _items(2)[0]
+        other.tuned_latency(shape, sequence)
+        assert other.statistics.tuner_calls > 0, "other trial count is a different key"
+
+    def test_corrupt_cache_raises(self, tmp_path):
+        path = tmp_path / "latency.pkl"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(EngineError):
+            EvaluationEngine(get_platform("cpu"), cache_path=path)
+
+    def test_save_without_path_raises(self):
+        engine = EvaluationEngine(get_platform("cpu"))
+        with pytest.raises(EngineError):
+            engine.save_cache()
+
+
+class TestStrategyRegistry:
+    def test_unknown_strategy_rejected_at_construction(self):
+        with pytest.raises(SearchError):
+            UnifiedSearch(get_platform("cpu"), strategy="simulated-annealing")
+
+    def test_get_strategy_rejects_unknown(self):
+        with pytest.raises(SearchError):
+            get_strategy("does-not-exist")
+
+    def test_builtin_strategies_registered(self):
+        for name in ("greedy", "random", "evolutionary", "local"):
+            assert name in SEARCH_STRATEGY_REGISTRY
+            assert get_strategy(name).name == name
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SearchError):
+            @register_strategy("greedy")
+            class Duplicate:  # pragma: no cover - rejected before use
+                def run(self, search, context):
+                    return None, float("inf")
+
+    def test_custom_strategy_plugs_in(self, dataset, minibatch):
+        name = "test-standard-only"
+
+        @register_strategy(name)
+        class StandardOnly:
+            """Trivially returns the program-only configuration."""
+
+            def run(self, search, context):
+                assignment = {w.name: context.standard for w in context.workloads}
+                return assignment, search._assignment_latency(context, assignment)
+
+        try:
+            images, labels = minibatch
+            search = UnifiedSearch(get_platform("cpu"), configurations=5,
+                                   tuner_trials=3, strategy=name, seed=0)
+            result = search.search(_small_model(), images, labels, dataset.spec.image_shape)
+            assert result.optimized_latency_seconds == pytest.approx(
+                result.baseline_latency_seconds)
+            assert all(not c.sequence.is_neural for c in result.choices.values())
+        finally:
+            SEARCH_STRATEGY_REGISTRY.pop(name)
+
+    def test_engine_platform_mismatch_rejected(self):
+        engine = EvaluationEngine(get_platform("gpu"))
+        with pytest.raises(SearchError):
+            UnifiedSearch(get_platform("cpu"), engine=engine)
+
+
+class TestPipelineAccounting:
+    def test_compare_approaches_tunes_each_unique_workload_once(self, dataset, tune_counter):
+        scale = PipelineScale(width_multiplier=0.125, image_size=8, fisher_batch=4,
+                              configurations=10, tuner_trials=3, train_size=32, test_size=16)
+        engine = EvaluationEngine(get_platform("cpu"), tuner_trials=3, seed=0)
+        result = compare_approaches("tiny-resnet",
+                                    lambda: resnet34(width_multiplier=0.125),
+                                    "cpu", scale=scale, dataset=dataset, seed=0,
+                                    engine=engine)
+        # Exactly one AutoTuner.tune per loop nest of each unique
+        # (shape, sequence) pair — seq3 builds two nests, the rest one.
+        expected = sum(len(sequence.build_computations(shape))
+                       for _platform, shape, sequence, _trials, _seed in engine.cache_keys())
+        assert tune_counter["count"] == expected
+        assert engine.statistics.tuner_calls == expected
+
+        # The shared oracle makes the TVM totals agree without rescaling.
+        assert result.speedups()["TVM"] == pytest.approx(1.0)
+
+        # A repeated comparison against the warm engine re-tunes nothing.
+        compare_approaches("tiny-resnet", lambda: resnet34(width_multiplier=0.125),
+                           "cpu", scale=scale, dataset=dataset, seed=0, engine=engine)
+        assert tune_counter["count"] == expected
