@@ -13,6 +13,8 @@ of the conclusions are what is being checked (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core.pipeline import PipelineScale
@@ -20,7 +22,24 @@ from repro.experiments.common import ExperimentScale
 
 
 def bench_scale() -> ExperimentScale:
-    """The scale used by the benchmark harness (between test and CI scales)."""
+    """The scale used by the benchmark harness (between test and CI scales).
+
+    Setting ``REPRO_BENCH_QUICK=1`` shrinks every knob to the minimum that
+    still exercises the full code paths — the CI smoke job uses it to
+    regenerate all figures in a couple of minutes.
+    """
+    if os.environ.get("REPRO_BENCH_QUICK"):
+        # Minimal trials/configurations; widths and dataset sizes stay just
+        # large enough for every driver's headline assertions to hold
+        # (fig8's ImageNet-like dataset needs >= 20 test samples).
+        pipeline = PipelineScale(width_multiplier=0.25, image_size=16, fisher_batch=4,
+                                 configurations=8, tuner_trials=2,
+                                 train_size=48, test_size=24)
+        return ExperimentScale(name="ci", pipeline=pipeline, cell_samples=3,
+                               cell_epochs=1, proxy_epochs=1, proxy_batch=16,
+                               fbnet_epochs=1, imagenet_image_size=16,
+                               imagenet_width=0.25, imagenet_depth=0.25,
+                               interpolation_steps=1)
     pipeline = PipelineScale(width_multiplier=0.25, image_size=16, fisher_batch=4,
                              configurations=60, tuner_trials=4, train_size=64, test_size=32)
     return ExperimentScale(name="ci", pipeline=pipeline, cell_samples=6, cell_epochs=1,

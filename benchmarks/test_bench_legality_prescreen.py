@@ -1,0 +1,75 @@
+"""Benchmark: tuner work avoided by the engine's legality pre-screen.
+
+A Figure-4-style candidate stream mixes programs that are legal on their
+shape with programs that are not (odd channel counts, asymmetric channels,
+already-grouped convolutions).  Stage 1 of the staged legality — the
+structural pre-screen — rejects the illegal ones *before* any tuner trial
+is spent, so the `AutoTuner.tune` count stays exactly the number of loop
+nests of the legal candidates.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import EvaluationEngine
+from repro.core.sequences import (
+    nas_candidate_sequences,
+    paper_sequences,
+    predefined_program,
+)
+from repro.hardware import get_platform
+from repro.poly.statement import ConvolutionShape
+from repro.tenir.autotune import AutoTuner
+
+
+def _candidate_stream() -> list[tuple[ConvolutionShape, object]]:
+    shapes = [
+        ConvolutionShape(16, 16, 8, 8, 3, 3),             # everything applies
+        ConvolutionShape(15, 9, 8, 8, 3, 3),              # odd channels
+        ConvolutionShape(8, 16, 6, 6, 3, 3),              # asymmetric channels
+        ConvolutionShape(16, 16, 8, 8, 3, 3, groups=2),   # already grouped
+        ConvolutionShape(12, 20, 6, 6, 3, 3),             # mixed divisibility
+    ]
+    programs = [predefined_program("standard")]
+    programs += list(paper_sequences().values())
+    programs += list(nas_candidate_sequences().values())
+    programs.append(predefined_program("spatial_bottleneck"))
+    programs.append(predefined_program("input_bottleneck"))
+    return [(shape, program) for shape in shapes for program in programs]
+
+
+def test_bench_legality_prescreen(benchmark, monkeypatch):
+    calls = {"count": 0}
+    original = AutoTuner.tune
+
+    def counted(self, computation, platform):
+        calls["count"] += 1
+        return original(self, computation, platform)
+
+    monkeypatch.setattr(AutoTuner, "tune", counted)
+    stream = _candidate_stream()
+
+    def run():
+        engine = EvaluationEngine(get_platform("cpu"), tuner_trials=2, seed=0)
+        tuned = rejected = 0
+        for shape, program in stream:
+            if engine.prescreen(shape, program).legal:
+                engine.tuned_latency(shape, program)
+                tuned += 1
+            else:
+                rejected += 1
+        return engine, tuned, rejected
+
+    engine, tuned, rejected = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert rejected > 0, "the stream must exercise the pre-screen"
+    assert tuned > 0
+
+    # Every AutoTuner.tune call belongs to a legal candidate's loop nest;
+    # the rejected candidates cost zero tuner work.
+    expected = sum(len(program.build_computations(shape))
+                   for _platform, shape, program, _trials, _seed in engine.cache_keys())
+    assert calls["count"] == expected
+    assert engine.statistics.prescreen_rejections == rejected
+    print()
+    print(f"candidates={len(stream)}  tuned={tuned}  "
+          f"rejected-before-tuning={rejected}  "
+          f"tuner-calls={calls['count']} (nests of legal candidates only)")

@@ -73,7 +73,7 @@ def show_derived_operators() -> None:
         if not spec.applicable(shape):
             continue
         reduction = spec.compute_reduction(shape)
-        row = [f"{name:20s}", f"{'->'.join(spec.transform_names()) or '(none)':45s}",
+        row = [f"{name:20s}", f"{'->'.join(spec.primitive_names()) or '(none)':45s}",
                f"{reduction:9.2f}"]
         for platform in (cpu, mgpu):
             seconds = sum(tuner.tune(c, platform).seconds

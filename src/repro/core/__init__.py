@@ -1,10 +1,21 @@
 """The paper's contribution: NAS as program transformation exploration."""
 
+from repro.core.program import (
+    PRIMITIVE_REGISTRY,
+    LegalityReport,
+    Primitive,
+    PrimitiveApplication,
+    TransformProgram,
+    random_composition,
+    register_primitive,
+    step,
+)
 from repro.core.sequences import (
     SEQUENCE_KINDS,
     SequenceSpec,
     nas_candidate_sequences,
     paper_sequences,
+    predefined_program,
     random_sequence,
 )
 from repro.core.unified_space import (
@@ -50,8 +61,10 @@ from repro.core.interpolation import (
 )
 
 __all__ = [
+    "PRIMITIVE_REGISTRY", "LegalityReport", "Primitive", "PrimitiveApplication",
+    "TransformProgram", "random_composition", "register_primitive", "step",
     "SEQUENCE_KINDS", "SequenceSpec", "nas_candidate_sequences", "paper_sequences",
-    "random_sequence",
+    "predefined_program", "random_sequence",
     "TABLE1_PRIMITIVES", "UnifiedSpace", "UnifiedSpaceConfig", "primitive_catalogue",
     "LayerWorkload", "extract_workloads", "total_macs", "unique_shapes",
     "EngineStatistics", "EvaluationEngine", "FisherOracle",

@@ -16,7 +16,7 @@ This is what keeps the paper's §7.2 claim honest in the reproduction:
 ~1000 configurations stay cheap *because* each unique (shape, sequence)
 pair is tuned exactly once per platform.
 
-Latency entries are keyed by ``(platform.name, shape, sequence,
+Latency entries are keyed by ``(platform.name, shape, program,
 tuner_trials, seed)`` — everything the tuned latency depends on — so a
 cache can be persisted to disk (:meth:`EvaluationEngine.save_cache`) and
 safely reloaded by later runs, even runs against other platforms or tuner
@@ -24,7 +24,13 @@ settings.  Fisher scores additionally depend on the profiled model and
 minibatch, so they are memoised per :class:`FisherOracle` (one oracle per
 Fisher profile) rather than persisted.
 
-See DESIGN.md §2–§3 for the architecture and the cache-key scheme.
+The engine also enforces stage 1 of the staged legality: every latency
+query is pre-screened through the transform program's structural legality
+(:meth:`EvaluationEngine.prescreen`) so illegal programs are rejected —
+with the failing primitive named — *before* any tuner work is spent on
+them, not after.
+
+See DESIGN.md §2–§3 and §7 for the architecture and the cache-key scheme.
 """
 
 from __future__ import annotations
@@ -37,9 +43,10 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.core.sequences import SequenceSpec
+from repro.core.program import LegalityReport, TransformProgram
+from repro.core.sequences import predefined_program
 from repro.core.workloads import LayerWorkload
-from repro.errors import EngineError, ModelError, TransformError
+from repro.errors import EngineError, LegalityError, ModelError, TransformError
 from repro.fisher import candidate_layer_fisher
 from repro.hardware.platform import PlatformSpec
 from repro.nn.convs import DerivedConv2d
@@ -51,10 +58,12 @@ from repro.utils import make_rng
 PARALLEL_MODES = ("serial", "thread", "process")
 
 #: A latency cache key: everything the tuned latency depends on.
-LatencyKey = tuple[str, ConvolutionShape, SequenceSpec, int, int]
+LatencyKey = tuple[str, ConvolutionShape, TransformProgram, int, int]
 
 #: On-disk cache format version (bump when the key or value layout changes).
-CACHE_FORMAT_VERSION = 1
+#: Version 2: keys carry :class:`TransformProgram` values instead of the
+#: retired closed-enum sequence specs.
+CACHE_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -67,6 +76,8 @@ class EngineStatistics:
     fisher_hits: int = 0
     fisher_misses: int = 0
     loaded_entries: int = 0
+    prescreen_checks: int = 0
+    prescreen_rejections: int = 0
 
     @property
     def latency_queries(self) -> int:
@@ -83,17 +94,17 @@ class EngineStatistics:
         return self.fisher_hits / queries if queries else 0.0
 
 
-def _tune_entry(args: tuple[PlatformSpec, ConvolutionShape, SequenceSpec, int, int],
+def _tune_entry(args: tuple[PlatformSpec, ConvolutionShape, TransformProgram, int, int],
                 ) -> tuple[float, int]:
-    """Tune one (shape, sequence) pair; picklable for process executors.
+    """Tune one (shape, program) pair; picklable for process executors.
 
-    Returns the summed latency of the sequence's loop nests and the number
+    Returns the summed latency of the program's loop nests and the number
     of ``AutoTuner.tune`` calls made, so the parent can keep exact counts.
     """
-    platform, shape, sequence, trials, seed = args
+    platform, shape, program, trials, seed = args
     tuner = AutoTuner(trials=trials, seed=seed)
     total, calls = 0.0, 0
-    for computation in sequence.build_computations(shape):
+    for computation in program.build_computations(shape):
         total += tuner.tune(computation, platform).seconds
         calls += 1
     return total, calls
@@ -111,27 +122,28 @@ class FisherOracle:
     def __init__(self, engine: "EvaluationEngine", profile):
         self.engine = engine
         self.profile = profile
-        self._cache: dict[tuple[str, SequenceSpec], float] = {}
+        self._cache: dict[tuple[str, TransformProgram], float] = {}
 
-    def candidate_fisher(self, workload: LayerWorkload, sequence: SequenceSpec) -> float:
-        """Fisher score of ``workload`` after substituting ``sequence``.
+    def candidate_fisher(self, workload: LayerWorkload,
+                         program: TransformProgram) -> float:
+        """Fisher score of ``workload`` after substituting ``program``.
 
         Program-only sequences keep the original layer's score; neural
-        sequences instantiate the derived operator and score it locally
+        programs instantiate the derived operator and score it locally
         against the recorded activations/gradients.  Infeasible candidates
         score ``-inf`` (always rejected by the legality check).
         """
-        key = (workload.name, sequence)
+        key = (workload.name, program)
         if key in self._cache:
             self.engine.statistics.fisher_hits += 1
             return self._cache[key]
         self.engine.statistics.fisher_misses += 1
         record = self.profile.layers[workload.name]
-        if not sequence.is_neural:
+        if not program.is_neural:
             score = record.score
         else:
-            config = sequence.conv_config(workload.shape)
             try:
+                config = program.conv_config(workload.shape)
                 candidate = DerivedConv2d(
                     record.in_channels, record.out_channels, record.kernel_size,
                     stride=record.stride, padding=record.padding, config=config,
@@ -168,8 +180,9 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     # Cache keys
     # ------------------------------------------------------------------
-    def latency_key(self, shape: ConvolutionShape, sequence: SequenceSpec) -> LatencyKey:
-        return (self.platform.name, shape, sequence, self.tuner_trials, self.seed)
+    def latency_key(self, shape: ConvolutionShape,
+                    program: TransformProgram) -> LatencyKey:
+        return (self.platform.name, shape, program, self.tuner_trials, self.seed)
 
     @property
     def cache_size(self) -> int:
@@ -179,23 +192,51 @@ class EvaluationEngine:
         return tuple(self._latency_cache)
 
     # ------------------------------------------------------------------
+    # The legality pre-screen (staged legality, stage 1)
+    # ------------------------------------------------------------------
+    def prescreen(self, shape: ConvolutionShape,
+                  program: TransformProgram) -> LegalityReport:
+        """Structural legality of ``program`` on ``shape``, with statistics.
+
+        Stage 1 of the staged legality: the cheap dependence/divisibility
+        check runs before any Fisher scoring or tuner trial is spent.  The
+        report names the failing primitive, feeding the per-primitive
+        rejection counters.
+        """
+        report = program.legality(shape)
+        self.statistics.prescreen_checks += 1
+        if not report.legal:
+            self.statistics.prescreen_rejections += 1
+        return report
+
+    def _require_legal(self, shape: ConvolutionShape,
+                       program: TransformProgram) -> None:
+        report = self.prescreen(shape, program)
+        if not report.legal:
+            raise LegalityError(
+                f"program '{program.name}' is illegal on {shape}: {report.reason}",
+                primitive=report.primitive, reason=report.reason)
+
+    # ------------------------------------------------------------------
     # The latency oracle
     # ------------------------------------------------------------------
-    def tuned_latency(self, shape: ConvolutionShape, sequence: SequenceSpec) -> float:
-        """Auto-tuned latency of ``sequence`` applied to ``shape``, memoised."""
-        key = self.latency_key(shape, sequence)
+    def tuned_latency(self, shape: ConvolutionShape,
+                      program: TransformProgram) -> float:
+        """Auto-tuned latency of ``program`` applied to ``shape``, memoised."""
+        key = self.latency_key(shape, program)
         cached = self._latency_cache.get(key)
         if cached is not None:
             self.statistics.latency_hits += 1
             return cached
+        self._require_legal(shape, program)
         self.statistics.latency_misses += 1
-        seconds, calls = _tune_entry((self.platform, shape, sequence,
+        seconds, calls = _tune_entry((self.platform, shape, program,
                                       self.tuner_trials, self.seed))
         self.statistics.tuner_calls += calls
         self._latency_cache[key] = seconds
         return seconds
 
-    def tune_many(self, items: Iterable[tuple[ConvolutionShape, SequenceSpec]],
+    def tune_many(self, items: Iterable[tuple[ConvolutionShape, TransformProgram]],
                   parallel: str | None = None,
                   max_workers: int | None = None) -> list[float]:
         """Batch form of :meth:`tuned_latency`.
@@ -210,14 +251,15 @@ class EvaluationEngine:
             raise EngineError(
                 f"unknown parallel mode '{parallel}'; expected one of {PARALLEL_MODES}")
         items = list(items)
-        missing: dict[LatencyKey, tuple[ConvolutionShape, SequenceSpec]] = {}
-        for shape, sequence in items:
-            key = self.latency_key(shape, sequence)
+        missing: dict[LatencyKey, tuple[ConvolutionShape, TransformProgram]] = {}
+        for shape, program in items:
+            key = self.latency_key(shape, program)
             if key not in self._latency_cache and key not in missing:
-                missing[key] = (shape, sequence)
+                self._require_legal(shape, program)
+                missing[key] = (shape, program)
         if missing:
-            tasks = [(self.platform, shape, sequence, self.tuner_trials, self.seed)
-                     for shape, sequence in missing.values()]
+            tasks = [(self.platform, shape, program, self.tuner_trials, self.seed)
+                     for shape, program in missing.values()]
             if parallel == "serial" or len(tasks) == 1:
                 outcomes = [_tune_entry(task) for task in tasks]
             else:
@@ -233,15 +275,15 @@ class EvaluationEngine:
                 self.statistics.tuner_calls += calls
         self.statistics.latency_misses += len(missing)
         self.statistics.latency_hits += len(items) - len(missing)
-        return [self._latency_cache[self.latency_key(shape, sequence)]
-                for shape, sequence in items]
+        return [self._latency_cache[self.latency_key(shape, program)]
+                for shape, program in items]
 
     def workloads_latency(self, workloads: Iterable[LayerWorkload],
-                          sequence: SequenceSpec | None = None,
+                          program: TransformProgram | None = None,
                           parallel: str | None = None) -> float:
-        """Summed latency of ``workloads``, each under ``sequence`` (default standard)."""
-        sequence = sequence or SequenceSpec(kind="standard")
-        return sum(self.tune_many([(w.shape, sequence) for w in workloads],
+        """Summed latency of ``workloads``, each under ``program`` (default standard)."""
+        program = program or predefined_program("standard")
+        return sum(self.tune_many([(w.shape, program) for w in workloads],
                                   parallel=parallel))
 
     # ------------------------------------------------------------------
@@ -286,7 +328,14 @@ class EvaluationEngine:
         except FileNotFoundError:
             raise
         except Exception as exc:
-            raise EngineError(f"corrupt engine cache at {source}: {exc}") from exc
+            # Pre-version-2 files fail while unpickling their keys (the old
+            # sequence-spec class no longer exists), before the version
+            # check can run, so the message covers both corruption and
+            # stale formats.
+            raise EngineError(
+                f"unreadable engine cache at {source} (corrupt, or written by "
+                f"an older build; this build reads format version "
+                f"{CACHE_FORMAT_VERSION}): {exc}") from exc
         if version != CACHE_FORMAT_VERSION:
             raise EngineError(
                 f"engine cache at {source} has format version {version}; "

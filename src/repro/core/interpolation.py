@@ -15,9 +15,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.sequences import SequenceSpec
+from repro.core.program import TransformProgram
+from repro.core.sequences import predefined_program
 from repro.data import SyntheticImageDataset, test_loader, train_loader
-from repro.errors import ModelError
+from repro.errors import ModelError, TransformError
 from repro.nn.blocks import iter_replaceable_convs
 from repro.nn.convs import DerivedConv2d
 from repro.nn.layers import Conv2d
@@ -69,7 +70,7 @@ def _apply_blocktype(model: Module, sequence_for_layer, seed: int = 0) -> Module
     for index, (name, owner, conv) in enumerate(iter_replaceable_convs(model)):
         if not isinstance(conv, Conv2d) or conv.groups > 1:
             continue
-        sequence: SequenceSpec = sequence_for_layer(index, conv)
+        sequence: TransformProgram = sequence_for_layer(index, conv)
         if sequence is None:
             continue
         from repro.poly.statement import ConvolutionShape
@@ -78,12 +79,12 @@ def _apply_blocktype(model: Module, sequence_for_layer, seed: int = 0) -> Module
                                  conv.kernel_size, conv.kernel_size)
         if not sequence.applicable(shape):
             continue
-        config = sequence.conv_config(shape)
         try:
+            config = sequence.conv_config(shape)
             derived = DerivedConv2d(conv.in_channels, conv.out_channels, conv.kernel_size,
                                     stride=conv.stride, padding=conv.padding, config=config,
                                     rng=make_rng(int(rng.integers(0, 2 ** 31))))
-        except ModelError:
+        except (ModelError, TransformError):
             continue
         setattr(owner, name.split(".")[-1], derived)
     return model
@@ -101,9 +102,9 @@ def interpolate_between_groupings(model_builder, dataset: SyntheticImageDataset,
     the other) — an operator that only exists in the unified space.
     """
     result = InterpolationResult()
-    group_a = SequenceSpec(kind="group", group=2)
-    group_b = SequenceSpec(kind="group", group=4)
-    mixed = SequenceSpec(kind="seq3", group=2, group_second=4)
+    group_a = predefined_program("group", group=2)
+    group_b = predefined_program("group", group=4)
+    mixed = predefined_program("seq3", group=2, group_second=4)
 
     def evaluate(label: str, chooser, blend: float, endpoint: bool) -> None:
         model = _apply_blocktype(model_builder(), chooser, seed=seed)
@@ -122,7 +123,7 @@ def interpolate_between_groupings(model_builder, dataset: SyntheticImageDataset,
         blend = step / (steps + 1)
         cutoff = int(round(blend * total_layers))
 
-        def chooser(index: int, conv: Conv2d, cutoff: int = cutoff) -> SequenceSpec:
+        def chooser(index: int, conv: Conv2d, cutoff: int = cutoff) -> TransformProgram:
             return group_b if index < cutoff else group_a
 
         evaluate(f"interp-{blend:.2f}", chooser, blend, False)

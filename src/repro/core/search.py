@@ -34,7 +34,8 @@ from typing import Protocol
 import numpy as np
 
 from repro.core.engine import EvaluationEngine, FisherOracle
-from repro.core.sequences import SequenceSpec
+from repro.core.program import TransformProgram
+from repro.core.sequences import predefined_program
 from repro.core.unified_space import UnifiedSpace, UnifiedSpaceConfig
 from repro.core.workloads import LayerWorkload, extract_workloads
 from repro.errors import ModelError, SearchError
@@ -47,14 +48,15 @@ from repro.utils import make_rng
 
 @dataclass
 class LayerChoice:
-    """The sequence chosen for one layer, with its scores."""
+    """The program chosen for one layer, with its scores."""
 
     layer: str
-    sequence: SequenceSpec
+    sequence: TransformProgram
     latency_seconds: float
     baseline_latency_seconds: float
     fisher_score: float
     baseline_fisher_score: float
+    shape: ConvolutionShape | None = None
 
     @property
     def speedup(self) -> float:
@@ -63,19 +65,42 @@ class LayerChoice:
 
 @dataclass
 class SearchStatistics:
-    """Bookkeeping for §7.2 (search time, rejection rate)."""
+    """Bookkeeping for §7.2 (search time, rejection rate).
+
+    ``rejections_by_primitive`` differentiates the rejection rate: every
+    structurally rejected candidate is counted under the Table-1 primitive
+    that failed its legality check (as reported by ``LegalityError``), and
+    Fisher rejections are counted under the neural primitives of the
+    refused program — or under the ``"fisher"`` key when the whole
+    configuration's network potential fell below the threshold.
+    """
 
     configurations_evaluated: int = 0
     configurations_rejected: int = 0
     search_seconds: float = 0.0
     unique_workloads: int = 0
     candidate_sequences: int = 0
+    rejections_by_primitive: dict[str, int] = field(default_factory=dict)
 
     @property
     def rejection_rate(self) -> float:
         if not self.configurations_evaluated:
             return 0.0
         return self.configurations_rejected / self.configurations_evaluated
+
+    def record_rejection(self, key: str, count: int = 1) -> None:
+        self.rejections_by_primitive[key] = (
+            self.rejections_by_primitive.get(key, 0) + count)
+
+    def record_fisher_rejection(self, program: TransformProgram) -> None:
+        """Attribute a Fisher rejection to the program's neural primitives."""
+        from repro.core.program import PRIMITIVE_REGISTRY
+
+        neural = [app.primitive for app in program.steps
+                  if app.primitive in PRIMITIVE_REGISTRY
+                  and PRIMITIVE_REGISTRY[app.primitive].is_neural]
+        for primitive in neural or ["fisher"]:
+            self.record_rejection(primitive)
 
 
 @dataclass
@@ -84,13 +109,13 @@ class _SearchContext:
 
     workloads: list[LayerWorkload]
     shapes: dict[str, ConvolutionShape]
-    candidates: dict[str, list[SequenceSpec]]
+    candidates: dict[str, list[TransformProgram]]
     profile: object
     checker: FisherLegalityChecker
     engine: EvaluationEngine
     fisher: FisherOracle
     baseline_latency: dict[str, float]
-    standard: SequenceSpec
+    standard: TransformProgram
     rng: np.random.Generator
     statistics: "SearchStatistics"
 
@@ -112,14 +137,27 @@ class UnifiedSearchResult:
         return self.baseline_latency_seconds / max(self.optimized_latency_seconds, 1e-12)
 
     def sequence_frequency(self) -> Counter:
-        """How often each sequence kind was chosen (Figure 5)."""
+        """How often each neural program (by name) was chosen."""
         counts: Counter = Counter()
         for choice in self.choices.values():
             if choice.sequence.is_neural:
                 counts[choice.sequence.kind] += 1
         return counts
 
-    def assignment(self) -> dict[str, SequenceSpec]:
+    def primitive_frequency(self) -> Counter:
+        """How often each Table-1 primitive was applied (Figure 5).
+
+        Counts are derived from the IR: every primitive application in the
+        programs chosen for the neural layers contributes one count, so a
+        five-step sequence registers each of its five operations.
+        """
+        counts: Counter = Counter()
+        for choice in self.choices.values():
+            if choice.sequence.is_neural:
+                counts.update(choice.sequence.primitive_names())
+        return counts
+
+    def assignment(self) -> dict[str, TransformProgram]:
         return {name: choice.sequence for name, choice in self.choices.items()}
 
 
@@ -138,7 +176,7 @@ class SearchStrategy(Protocol):
     name: str
 
     def run(self, search: "UnifiedSearch", context: _SearchContext
-            ) -> tuple[dict[str, SequenceSpec] | None, float]:
+            ) -> tuple[dict[str, TransformProgram] | None, float]:
         ...
 
 
@@ -198,6 +236,7 @@ class GreedyStrategy:
                 context.statistics.configurations_evaluated += 1
                 if not np.isfinite(score):
                     context.statistics.configurations_rejected += 1
+                    context.statistics.record_fisher_rejection(sequence)
                     continue
                 # The greedy construction strengthens the paper's rule: the
                 # substituted layer must itself retain its Fisher score and
@@ -206,6 +245,7 @@ class GreedyStrategy:
                 # layers would buy slack for damaging substitutions later.
                 if score < search.fisher_threshold * original_score:
                     context.statistics.configurations_rejected += 1
+                    context.statistics.record_fisher_rejection(sequence)
                     continue
                 trial = dict(replacements)
                 trial[workload.name] = score
@@ -215,6 +255,7 @@ class GreedyStrategy:
                     replacements[workload.name] = score
                     break
                 context.statistics.configurations_rejected += 1
+                context.statistics.record_rejection("fisher")
         return assignment, search._assignment_latency(context, assignment)
 
 
@@ -242,7 +283,7 @@ class EvolutionaryStrategy:
     def run(self, search: "UnifiedSearch", context: _SearchContext):
         population_size = max(4, min(12, search.configurations // 8))
         generations = max(1, search.configurations // population_size - 1)
-        population: list[tuple[dict[str, SequenceSpec], float]] = []
+        population: list[tuple[dict[str, TransformProgram], float]] = []
         while (len(population) < population_size
                and context.statistics.configurations_evaluated < search.configurations):
             assignment = search.space.sample_assignment(context.shapes, context.candidates,
@@ -351,18 +392,21 @@ class UnifiedSearch:
         if not workloads:
             raise SearchError("the model exposes no convolution layers to optimise")
 
-        per_layer_candidates: dict[str, list[SequenceSpec]] = {}
+        per_layer_candidates: dict[str, list[TransformProgram]] = {}
         shapes: dict[str, ConvolutionShape] = {}
+        structural_rejections: dict[str, int] = {}
         # Candidate generation restarts from the space seed on every run, so
-        # a repeated search proposes identical sequences and the warm engine
-        # answers every latency query from cache.
+        # a repeated search proposes identical programs and the warm engine
+        # answers every latency query from cache.  Structurally illegal
+        # candidates die here (staged legality, stage 1) and are counted
+        # per failing primitive.
         space_rng = self.space.fresh_rng()
         for workload in workloads:
             per_layer_candidates[workload.name] = self.space.candidate_sequences(
-                workload.shape, rng=space_rng)
+                workload.shape, rng=space_rng, rejections=structural_rejections)
             shapes[workload.name] = workload.shape
 
-        standard = SequenceSpec(kind="standard")
+        standard = predefined_program("standard")
         # Batch-tune the baselines up front (deduplicated; parallel when the
         # engine is configured for it).
         baseline_latency = dict(zip(
@@ -373,6 +417,7 @@ class UnifiedSearch:
         statistics = SearchStatistics(
             unique_workloads=len({w.shape for w in workloads}),
             candidate_sequences=sum(len(c) for c in per_layer_candidates.values()),
+            rejections_by_primitive=structural_rejections,
         )
         context = _SearchContext(
             workloads=workloads, shapes=shapes, candidates=per_layer_candidates,
@@ -383,9 +428,10 @@ class UnifiedSearch:
         )
         best_assignment, best_latency = get_strategy(self.strategy).run(self, context)
 
-        if best_assignment is None:
-            # Every sampled configuration was rejected: fall back to the
-            # always-legal program-only configuration.
+        if best_assignment is None or best_latency > total_baseline:
+            # The program-only configuration is always in the space and
+            # always legal, so it bounds every search outcome: fall back to
+            # it when all samples were rejected or none beat the baseline.
             best_assignment = {w.name: standard for w in workloads}
             best_latency = total_baseline
 
@@ -403,6 +449,7 @@ class UnifiedSearch:
                 baseline_latency_seconds=baseline_latency[workload.name],
                 fisher_score=fisher_score,
                 baseline_fisher_score=profile.score_of(workload.name),
+                shape=workload.shape,
             )
 
         statistics.search_seconds = time.perf_counter() - start
@@ -420,20 +467,20 @@ class UnifiedSearch:
     # Evaluation helpers shared by the strategies
     # ------------------------------------------------------------------
     def _layer_latency(self, context: _SearchContext, layer: str,
-                       sequence: SequenceSpec) -> float:
+                       sequence: TransformProgram) -> float:
         return context.engine.tuned_latency(context.shapes[layer], sequence)
 
     def _layer_fisher(self, context: _SearchContext, workload: LayerWorkload,
-                      sequence: SequenceSpec) -> float:
+                      sequence: TransformProgram) -> float:
         return context.fisher.candidate_fisher(workload, sequence)
 
     def _assignment_latency(self, context: _SearchContext,
-                            assignment: dict[str, SequenceSpec]) -> float:
+                            assignment: dict[str, TransformProgram]) -> float:
         return sum(self._layer_latency(context, w.name, assignment[w.name])
                    for w in context.workloads)
 
     def _assignment_legal(self, context: _SearchContext,
-                          assignment: dict[str, SequenceSpec]) -> bool:
+                          assignment: dict[str, TransformProgram]) -> bool:
         """Check a whole configuration's Fisher Potential, updating the stats."""
         replacements: dict[str, float] = {}
         for workload in context.workloads:
@@ -442,6 +489,7 @@ class UnifiedSearch:
             if not np.isfinite(score):
                 context.statistics.configurations_evaluated += 1
                 context.statistics.configurations_rejected += 1
+                context.statistics.record_fisher_rejection(sequence)
                 return False
             if sequence.is_neural:
                 replacements[workload.name] = score
@@ -449,6 +497,7 @@ class UnifiedSearch:
         context.statistics.configurations_evaluated += 1
         if not decision.legal:
             context.statistics.configurations_rejected += 1
+            context.statistics.record_rejection("fisher")
         return decision.legal
 
     # ------------------------------------------------------------------
@@ -466,19 +515,24 @@ class UnifiedSearch:
         rng = make_rng(seed)
         replaceable = {name: (owner, conv) for name, owner, conv in
                        iter_replaceable_convs(model) if isinstance(conv, Conv2d)}
+        from repro.errors import TransformError
+
         for name, choice in result.choices.items():
             if not choice.sequence.is_neural or name not in replaceable:
                 continue
             owner, conv = replaceable[name]
-            config = choice.sequence.conv_config(
-                ConvolutionShape(conv.out_channels, conv.in_channels, 1, 1,
-                                 conv.kernel_size, conv.kernel_size))
+            # The search recorded the layer's real shape; deriving the
+            # operator from it keeps spatial transformations faithful.
+            shape = choice.shape or ConvolutionShape(
+                conv.out_channels, conv.in_channels, 1, 1,
+                conv.kernel_size, conv.kernel_size)
             try:
+                config = choice.sequence.conv_config(shape)
                 derived = DerivedConv2d(conv.in_channels, conv.out_channels,
                                         conv.kernel_size, stride=conv.stride,
                                         padding=conv.padding, config=config,
                                         rng=make_rng(int(rng.integers(0, 2 ** 31))))
-            except ModelError:
+            except (ModelError, TransformError):
                 continue
             setattr(owner, name.split(".")[-1], derived)
         return model

@@ -1,38 +1,29 @@
-"""Transformation sequences: the operators the unified space can synthesise.
+"""Named transformation sequences, expressed as predefined programs.
 
-A :class:`SequenceSpec` names a sequence of Table-1 primitives with its
-parameters.  It has three faces:
+The nine sequence kinds the reproduction started from — the three §7.3
+case studies, the classic NAS operators (grouping, output/input
+bottlenecking, depthwise), the §5.3 spatial-bottleneck composition and the
+program-only ``standard`` — are no longer a closed enum with per-kind
+stage-building code.  Each is a predefined
+:class:`~repro.core.program.TransformProgram`: an explicit composition of
+Table-1 primitive applications compiled through the IR's single lowering
+path.  Golden-equivalence tests pin that the predefined programs produce
+exactly the stages and latencies of the legacy per-kind builders.
 
-* **loop level** — :meth:`build_stages` applies the primitives to the
-  convolution's loop nest (possibly producing several nests, e.g. the
-  paper's Sequence 3 splits the output channels and groups each half
-  differently), ready for auto-tuning and latency estimation;
-* **network level** — :meth:`conv_config` summarises the neural effect as a
-  :class:`~repro.nn.convs.ConvTransformConfig`, from which a trainable
-  :class:`~repro.nn.convs.DerivedConv2d` can be instantiated for Fisher /
-  accuracy evaluation;
-* **bookkeeping** — :meth:`transform_names` lists the primitive names, used
-  by Figure 5 (frequency of operation application).
-
-The named sequences are the three §7.3 case studies plus the classic NAS
-operators (grouping, output/input bottlenecking, depthwise) and the §5.3
-spatial bottleneck composition.
+:func:`SequenceSpec` survives as the parameterised constructor for these
+named programs, so call sites read as before while every consumer now
+speaks :class:`TransformProgram`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-
 import numpy as np
 
+from repro.core.program import TransformProgram, step
 from repro.errors import TransformError
-from repro.nn.convs import ConvTransformConfig
-from repro.poly.statement import ConvolutionShape
-from repro.tenir.expr import Computation, conv2d_compute, grouped_conv2d_compute
-from repro.tenir.schedule import Stage, create_schedule
 from repro.utils import make_rng
 
-#: Sequence kinds available to the unified search.
+#: Named sequence kinds available as predefined programs.
 SEQUENCE_KINDS = (
     "standard",            # program transformations only
     "group",               # plain grouping (also the NAS candidate)
@@ -40,238 +31,90 @@ SEQUENCE_KINDS = (
     "input_bottleneck",    # the §2.3 derived operator
     "depthwise",           # grouping with G = C_o = C_i
     "spatial_bottleneck",  # the §5.3 composition
-    "seq1",                # split -> interchange -> group -> interchange -> fuse
-    "seq2",                # unroll -> group -> interchange
-    "seq3",                # split -> group -> interchange -> group
+    "seq1",                # split -> reorder -> group -> reorder -> fuse
+    "seq2",                # unroll -> group -> reorder
+    "seq3",                # split -> group -> group -> reorder
 )
 
 
-@dataclass(frozen=True)
-class SequenceSpec:
-    """A parameterised transformation sequence applied to one convolution."""
+def predefined_program(kind: str = "standard", *, group: int = 2,
+                       group_second: int = 4, bottleneck: int = 2,
+                       spatial: int = 2, unroll: int = 16) -> TransformProgram:
+    """The named sequence ``kind`` as an explicit transform program."""
+    if kind not in SEQUENCE_KINDS:
+        raise TransformError(f"unknown sequence kind '{kind}'")
+    steps: tuple = ()
+    if kind == "group":
+        steps = (step("group", factor=group),)
+    elif kind == "bottleneck":
+        steps = (step("bottleneck", iterator="co", factor=bottleneck),)
+    elif kind == "input_bottleneck":
+        steps = (step("reorder", front=("ci", "co")),
+                 step("bottleneck", iterator="ci", factor=bottleneck))
+    elif kind == "depthwise":
+        steps = (step("depthwise"),)
+    elif kind == "spatial_bottleneck":
+        steps = (step("reorder", front=("oh", "ow", "co", "ci", "kh", "kw")),
+                 step("bottleneck", iterator="oh", factor=spatial),
+                 step("reorder", front=("ow", "oh", "co", "ci", "kh", "kw")),
+                 step("bottleneck", iterator="ow", factor=spatial),
+                 step("reorder", front=("co", "ci", "oh", "ow", "kh", "kw")))
+    elif kind == "seq1":
+        # The published sequence leaves the strip size to the autotuner
+        # (factor="auto": the largest divisor filling a SIMD/warp lane
+        # group, at least ``spatial``); the trailing fuse only fires when
+        # the split pair stays adjacent after the group hoist.
+        steps = (step("split", iterator="ow", factor="auto", limit=8, floor=spatial),
+                 step("reorder", front=("ow_o",)),
+                 step("group", factor=group),
+                 step("reorder", front=("g", "ow_o")),
+                 step("fuse", first="ow_o", second="ow_i", optional=True))
+    elif kind == "seq2":
+        steps = (step("unroll", iterator="co", factor=unroll),
+                 step("group", factor=group),
+                 step("reorder", front=("g",)))
+    elif kind == "seq3":
+        steps = (step("split", parts=2),
+                 step("group", factor=group, nest=0),
+                 step("group", factor=group_second, nest=1),
+                 step("reorder", front=("g",)))
+    return TransformProgram(name=kind, steps=steps)
 
-    kind: str = "standard"
-    group: int = 2
-    group_second: int = 4
-    bottleneck: int = 2
-    spatial: int = 2
-    unroll: int = 16
 
-    def __post_init__(self) -> None:
-        if self.kind not in SEQUENCE_KINDS:
-            raise TransformError(f"unknown sequence kind '{self.kind}'")
-
-    # ------------------------------------------------------------------
-    # Descriptions
-    # ------------------------------------------------------------------
-    @property
-    def is_neural(self) -> bool:
-        return self.kind != "standard"
-
-    def transform_names(self) -> tuple[str, ...]:
-        """Primitive names in application order (the paper's notation)."""
-        names = {
-            "standard": (),
-            "group": ("group",),
-            "bottleneck": ("bottleneck",),
-            "input_bottleneck": ("interchange", "bottleneck"),
-            "depthwise": ("group",),
-            "spatial_bottleneck": ("interchange", "bottleneck", "interchange",
-                                   "bottleneck", "interchange"),
-            "seq1": ("split", "interchange", "group", "interchange", "fuse"),
-            "seq2": ("unroll", "group", "interchange"),
-            "seq3": ("split", "group", "interchange", "group"),
-        }
-        return names[self.kind]
-
-    def describe(self) -> str:
-        if self.kind == "standard":
-            return "standard"
-        if self.kind == "group":
-            return f"group(G={self.group})"
-        if self.kind == "bottleneck":
-            return f"bottleneck(B={self.bottleneck})"
-        if self.kind == "input_bottleneck":
-            return f"input_bottleneck(B={self.bottleneck})"
-        if self.kind == "depthwise":
-            return "depthwise"
-        if self.kind == "spatial_bottleneck":
-            return f"spatial_bottleneck(b={self.spatial})"
-        if self.kind == "seq1":
-            return f"seq1(split={self.spatial},G={self.group})"
-        if self.kind == "seq2":
-            return f"seq2(unroll={self.unroll},G={self.group})"
-        return f"seq3(G1={self.group},G2={self.group_second})"
-
-    # ------------------------------------------------------------------
-    # Applicability
-    # ------------------------------------------------------------------
-    def applicable(self, shape: ConvolutionShape) -> bool:
-        """Divisibility and structural constraints for this convolution."""
-        if shape.groups > 1 and self.kind != "standard":
-            return False   # already-grouped convolutions keep their structure
-        checks = {
-            "standard": True,
-            "group": shape.c_out % self.group == 0 and shape.c_in % self.group == 0,
-            "bottleneck": shape.c_out % self.bottleneck == 0 and shape.c_out > self.bottleneck,
-            "input_bottleneck": shape.c_in % self.bottleneck == 0 and shape.c_in > self.bottleneck,
-            "depthwise": shape.c_out == shape.c_in and shape.c_in > 1,
-            "spatial_bottleneck": (shape.h_out % self.spatial == 0
-                                   and shape.w_out % self.spatial == 0
-                                   and shape.h_out > self.spatial),
-            "seq1": (shape.w_out % self.spatial == 0
-                     and shape.c_out % self.group == 0 and shape.c_in % self.group == 0),
-            "seq2": shape.c_out % self.group == 0 and shape.c_in % self.group == 0,
-            "seq3": (shape.c_out % (2 * self.group) == 0
-                     and shape.c_out % (2 * self.group_second) == 0
-                     and shape.c_in % self.group == 0
-                     and shape.c_in % self.group_second == 0),
-        }
-        return bool(checks[self.kind])
-
-    # ------------------------------------------------------------------
-    # Loop level
-    # ------------------------------------------------------------------
-    def build_stages(self, shape: ConvolutionShape) -> list[Stage]:
-        """Apply the sequence to the convolution loop nest.
-
-        Returns one stage per produced loop nest: Sequence 3 yields two
-        (one per output-channel split); all other kinds yield one.
-        """
-        if not self.applicable(shape):
-            raise TransformError(f"{self.describe()} is not applicable to {shape}")
-
-        if self.kind == "seq3":
-            half = ConvolutionShape(shape.c_out // 2, shape.c_in, shape.h_out, shape.w_out,
-                                    shape.k_h, shape.k_w, stride=shape.stride)
-            first = create_schedule(conv2d_compute(half, name="seq3_half0"))
-            first.group(self.group)
-            second = create_schedule(conv2d_compute(half, name="seq3_half1"))
-            second.group(self.group_second)
-            # The interchange of the published sequence: hoist the group loop.
-            first.reorder("g", *[n for n in first.loop_order if n != "g"])
-            second.reorder("g", *[n for n in second.loop_order if n != "g"])
-            return [first, second]
-
-        if shape.groups > 1:
-            # Already-grouped convolutions (e.g. ResNeXt) keep their structure;
-            # only program transformations apply to them.
-            stage = create_schedule(grouped_conv2d_compute(shape, shape.groups))
-            return [stage]
-        stage = create_schedule(conv2d_compute(shape))
-        if self.kind == "standard":
-            return [stage]
-        if self.kind == "group":
-            stage.group(self.group)
-            return [stage]
-        if self.kind == "bottleneck":
-            stage.bottleneck("co", self.bottleneck)
-            return [stage]
-        if self.kind == "input_bottleneck":
-            stage.reorder("ci", "co")
-            stage.bottleneck("ci", self.bottleneck)
-            return [stage]
-        if self.kind == "depthwise":
-            stage.depthwise()
-            return [stage]
-        if self.kind == "spatial_bottleneck":
-            stage.reorder("oh", "ow", "co", "ci", "kh", "kw")
-            stage.bottleneck("oh", self.spatial)
-            stage.reorder("ow", "oh", "co", "ci", "kh", "kw")
-            stage.bottleneck("ow", self.spatial)
-            stage.reorder("co", "ci", "oh", "ow", "kh", "kw")
-            return [stage]
-        if self.kind == "seq1":
-            # Split the spatial iterator into vector-friendly strips; the
-            # published sequence leaves the strip size to the autotuner, so
-            # pick the largest divisor of W that fills a SIMD/warp lane group.
-            from repro.utils import divisors
-
-            strip = max(d for d in divisors(shape.w_out) if d <= 8)
-            ow_outer, ow_inner = stage.split("ow", max(strip, self.spatial))
-            stage.reorder(ow_outer, *[n for n in stage.loop_order if n != ow_outer])
-            stage.group(self.group)
-            stage.reorder("g", ow_outer,
-                          *[n for n in stage.loop_order if n not in ("g", ow_outer)])
-            order = list(stage.loop_order)
-            if order.index(ow_inner) == order.index(ow_outer) + 1:
-                stage.fuse(ow_outer, ow_inner)
-            return [stage]
-        if self.kind == "seq2":
-            stage.unroll("co", self.unroll)
-            stage.group(self.group)
-            stage.reorder("g", *[n for n in stage.loop_order if n != "g"])
-            return [stage]
-        raise TransformError(f"unhandled sequence kind '{self.kind}'")
-
-    def build_computations(self, shape: ConvolutionShape) -> list[Computation]:
-        """The transformed computations (structural part only, no annotations)."""
-        computations = []
-        for index, stage in enumerate(self.build_stages(shape)):
-            computations.append(Computation(
-                name=f"{self.kind}_{index}", statement=stage.statement,
-                element_bytes=stage.computation.element_bytes, source_shape=shape))
-        return computations
-
-    # ------------------------------------------------------------------
-    # Network level
-    # ------------------------------------------------------------------
-    def conv_config(self, shape: ConvolutionShape) -> ConvTransformConfig:
-        """Summarise the sequence's neural effect for module instantiation."""
-        if self.kind in ("standard",):
-            return ConvTransformConfig()
-        if self.kind == "group":
-            return ConvTransformConfig(group_factors=(self.group,))
-        if self.kind == "bottleneck":
-            return ConvTransformConfig(bottleneck_out=self.bottleneck)
-        if self.kind == "input_bottleneck":
-            return ConvTransformConfig(bottleneck_in=self.bottleneck)
-        if self.kind == "depthwise":
-            return ConvTransformConfig(group_factors=(shape.c_in,))
-        if self.kind == "spatial_bottleneck":
-            return ConvTransformConfig(spatial_bottleneck=self.spatial)
-        if self.kind == "seq1":
-            return ConvTransformConfig(group_factors=(self.group,))
-        if self.kind == "seq2":
-            return ConvTransformConfig(group_factors=(self.group,), unroll=self.unroll)
-        return ConvTransformConfig(group_factors=(self.group, self.group_second))
-
-    def compute_reduction(self, shape: ConvolutionShape) -> float:
-        """Factor by which multiply-accumulates shrink under this sequence."""
-        original = shape.macs()
-        transformed = sum(c.macs for c in self.build_computations(shape))
-        return original / max(transformed, 1)
+#: Legacy constructor name: ``SequenceSpec(kind="group", group=4)`` now
+#: returns the predefined :class:`TransformProgram` for that kind.
+SequenceSpec = predefined_program
 
 
 # ---------------------------------------------------------------------------
 # Named sequences from the paper
 # ---------------------------------------------------------------------------
-def paper_sequences() -> dict[str, SequenceSpec]:
+def paper_sequences() -> dict[str, TransformProgram]:
     """The three §7.3 case-study sequences with their published parameters."""
     return {
-        "seq1": SequenceSpec(kind="seq1", spatial=2, group=2),
-        "seq2": SequenceSpec(kind="seq2", unroll=16, group=2),
-        "seq3": SequenceSpec(kind="seq3", group=2, group_second=4),
+        "seq1": predefined_program("seq1", spatial=2, group=2),
+        "seq2": predefined_program("seq2", unroll=16, group=2),
+        "seq3": predefined_program("seq3", group=2, group_second=4),
     }
 
 
-def nas_candidate_sequences() -> dict[str, SequenceSpec]:
-    """Sequences equivalent to the conventional NAS candidate operators."""
+def nas_candidate_sequences() -> dict[str, TransformProgram]:
+    """Programs equivalent to the conventional NAS candidate operators."""
     return {
-        "group2": SequenceSpec(kind="group", group=2),
-        "group4": SequenceSpec(kind="group", group=4),
-        "bottleneck2": SequenceSpec(kind="bottleneck", bottleneck=2),
-        "bottleneck4": SequenceSpec(kind="bottleneck", bottleneck=4),
-        "depthwise": SequenceSpec(kind="depthwise"),
+        "group2": predefined_program("group", group=2),
+        "group4": predefined_program("group", group=4),
+        "bottleneck2": predefined_program("bottleneck", bottleneck=2),
+        "bottleneck4": predefined_program("bottleneck", bottleneck=4),
+        "depthwise": predefined_program("depthwise"),
     }
 
 
-def random_sequence(rng: np.random.Generator | None = None) -> SequenceSpec:
-    """Sample a random sequence from the unified space."""
+def random_sequence(rng: np.random.Generator | None = None) -> TransformProgram:
+    """Sample a random named sequence with random parameters."""
     rng = rng or make_rng()
     kind = str(rng.choice(SEQUENCE_KINDS))
-    return SequenceSpec(
-        kind=kind,
+    return predefined_program(
+        kind,
         group=int(rng.choice([2, 4, 8])),
         group_second=int(rng.choice([2, 4, 8])),
         bottleneck=int(rng.choice([2, 4])),

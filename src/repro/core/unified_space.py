@@ -1,10 +1,14 @@
 """The unified transformation space (§5): program + neural + GPU mapping.
 
 This module is the catalogue of Table 1 plus the candidate-generation
-policy of the unified search: for each convolution layer it proposes
-transformation sequences (named or random), each of which will be checked
-for legality (dependences for program transformations, Fisher Potential for
-neural ones) and auto-tuned on the target platform.
+policy of the unified search.  For each convolution layer it proposes
+transform programs — the named predefined sequences *and* true random
+compositions of Table-1 primitives sampled from the open IR — each of
+which passes the staged legality pipeline (structural/dependence checks at
+generation, Fisher Potential for neural survivors) before it is auto-tuned
+on the target platform.  Structural rejections are attributed to the
+failing primitive so the search statistics differentiate *why* candidates
+die, not just how many.
 """
 
 from __future__ import annotations
@@ -13,11 +17,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.program import TransformProgram, random_composition
 from repro.core.sequences import (
-    SEQUENCE_KINDS,
-    SequenceSpec,
     nas_candidate_sequences,
     paper_sequences,
+    predefined_program,
     random_sequence,
 )
 from repro.poly.statement import ConvolutionShape
@@ -64,13 +68,18 @@ class UnifiedSpaceConfig:
     include_paper_sequences: bool = True
     #: include the classic NAS candidate operators expressed as sequences
     include_nas_candidates: bool = True
-    #: number of additional random sequences proposed per layer
+    #: number of additional random named sequences proposed per layer
     random_sequences_per_layer: int = 4
+    #: number of random primitive compositions sampled per layer from the
+    #: open IR (programs outside the predefined catalogue)
+    random_compositions_per_layer: int = 2
+    #: maximum primitive applications per sampled composition
+    max_composition_steps: int = 4
     seed: int = 0
 
 
 class UnifiedSpace:
-    """Generates candidate transformation sequences for convolution layers."""
+    """Generates candidate transform programs for convolution layers."""
 
     def __init__(self, config: UnifiedSpaceConfig | None = None):
         self.config = config or UnifiedSpaceConfig()
@@ -81,34 +90,60 @@ class UnifiedSpace:
 
         One per search run makes candidate generation a pure function of
         the space configuration, so repeated searches propose identical
-        sequences and hit the evaluation engine's cache instead of tuning.
+        programs and hit the evaluation engine's cache instead of tuning.
         """
         return make_rng(self.config.seed)
 
-    def candidate_sequences(self, shape: ConvolutionShape,
-                            rng: np.random.Generator | None = None) -> list[SequenceSpec]:
-        """All applicable candidate sequences for one convolution shape.
+    def random_composition(self, shape: ConvolutionShape,
+                           rng: np.random.Generator | None = None,
+                           ) -> TransformProgram | None:
+        """Sample one random primitive composition legal for ``shape``."""
+        return random_composition(shape, self._rng if rng is None else rng,
+                                  max_steps=self.config.max_composition_steps)
 
-        The ``standard`` sequence (program transformations only) is always
-        present, so every layer keeps a legal fall-back.
+    def candidate_sequences(self, shape: ConvolutionShape,
+                            rng: np.random.Generator | None = None,
+                            rejections: dict[str, int] | None = None,
+                            ) -> list[TransformProgram]:
+        """All structurally legal candidate programs for one shape.
+
+        The ``standard`` program (program transformations only) is always
+        present, so every layer keeps a legal fall-back.  Candidates that
+        fail the structural legality check are dropped here — before any
+        Fisher scoring or tuning — and counted per failing primitive into
+        ``rejections`` when given.
         """
         rng = self._rng if rng is None else rng
-        candidates: dict[str, SequenceSpec] = {"standard": SequenceSpec(kind="standard")}
+        candidates: dict[str, TransformProgram] = {
+            "standard": predefined_program("standard")}
         if self.config.include_paper_sequences:
             candidates.update(paper_sequences())
         if self.config.include_nas_candidates:
             candidates.update(nas_candidate_sequences())
         for index in range(self.config.random_sequences_per_layer):
-            spec = random_sequence(rng)
-            candidates.setdefault(f"random_{index}_{spec.kind}", spec)
-        return [spec for spec in candidates.values() if spec.applicable(shape)]
+            program = random_sequence(rng)
+            candidates.setdefault(f"random_{index}_{program.name}", program)
+        for index in range(self.config.random_compositions_per_layer):
+            program = self.random_composition(shape, rng)
+            if program is not None:
+                candidates.setdefault(f"composition_{index}", program)
+        kept: list[TransformProgram] = []
+        for program in candidates.values():
+            report = program.legality(shape)
+            if report.legal:
+                kept.append(program)
+            elif rejections is not None:
+                key = report.primitive or "unknown"
+                rejections[key] = rejections.get(key, 0) + 1
+        return kept
 
     def sample_assignment(self, shapes: dict[str, ConvolutionShape],
-                          per_layer_candidates: dict[str, list[SequenceSpec]],
-                          rng: np.random.Generator | None = None) -> dict[str, SequenceSpec]:
-        """Sample one configuration: a sequence choice per layer."""
+                          per_layer_candidates: dict[str, list[TransformProgram]],
+                          rng: np.random.Generator | None = None,
+                          ) -> dict[str, TransformProgram]:
+        """Sample one configuration: a program choice per layer."""
         rng = rng or self._rng
-        assignment: dict[str, SequenceSpec] = {}
+        assignment: dict[str, TransformProgram] = {}
         for layer, candidates in per_layer_candidates.items():
             neural = [c for c in candidates if c.is_neural]
             standard = [c for c in candidates if not c.is_neural]
@@ -120,7 +155,8 @@ class UnifiedSpace:
                 assignment[layer] = candidates[int(rng.integers(0, len(candidates)))]
         return assignment
 
-    def space_cardinality(self, per_layer_candidates: dict[str, list[SequenceSpec]]) -> float:
+    def space_cardinality(self, per_layer_candidates: dict[str, list[TransformProgram]]
+                          ) -> float:
         """Number of distinct configurations the sampled candidates span."""
         cardinality = 1.0
         for candidates in per_layer_candidates.values():

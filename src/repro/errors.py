@@ -24,7 +24,18 @@ class TransformError(ReproError):
 
 
 class LegalityError(TransformError):
-    """Raised when a transformation is rejected by a legality check."""
+    """Raised when a transformation is rejected by a legality check.
+
+    ``primitive`` names the Table-1 primitive whose application failed and
+    ``reason`` states why, so searches can keep per-primitive rejection
+    statistics instead of an undifferentiated rejection rate.
+    """
+
+    def __init__(self, message: str, *, primitive: str | None = None,
+                 reason: str | None = None):
+        super().__init__(message)
+        self.primitive = primitive
+        self.reason = reason if reason is not None else message
 
 
 class ScheduleError(ReproError):

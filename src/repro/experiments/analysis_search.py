@@ -37,6 +37,9 @@ class AnalysisResult:
     configurations_evaluated: int
     rejection_rate: float
     speedup: float
+    #: which primitive (or the network Fisher check) killed rejected
+    #: candidates — the differentiated face of ``rejection_rate``
+    rejections_by_primitive: dict[str, int] | None = None
 
     @property
     def accuracy_delta(self) -> float:
@@ -79,6 +82,7 @@ def run(scale: str | ExperimentScale = "ci", seed: int = 0,
         configurations_evaluated=outcome.statistics.configurations_evaluated,
         rejection_rate=outcome.statistics.rejection_rate,
         speedup=outcome.speedup,
+        rejections_by_primitive=dict(outcome.statistics.rejections_by_primitive),
     )
 
 
@@ -94,6 +98,10 @@ def format_report(result: AnalysisResult) -> str:
         ("search time", f"{result.search_seconds:.1f}s"),
         ("candidates evaluated", str(result.configurations_evaluated)),
         ("rejection rate", f"{100 * result.rejection_rate:.0f}%"),
+        ("rejections by primitive", ", ".join(
+            f"{name}:{count}" for name, count in
+            sorted((result.rejections_by_primitive or {}).items(),
+                   key=lambda item: -item[1])) or "none"),
     ]
     table = format_table(["quantity", "value"], rows)
     return f"Search analysis ({result.network})\n{table}"

@@ -1,11 +1,12 @@
 """Figure 5: frequency of operation application.
 
-The paper counts how often the three §7.3 case-study sequences appear in
-the best-performing networks found by the unified search, per network:
+The paper counts how often the Table-1 operations appear in the
+best-performing networks found by the unified search, per network:
 ResNeXt-29 has the fewest instances (fewest layers) and DenseNet-161 the
 most.  The driver runs the unified search on the three networks (on the
-Intel i7 platform, as in the case studies) and reports the counts of every
-chosen sequence kind.
+Intel i7 platform, as in the case studies) and reports, for every network,
+how often each primitive was applied — derived directly from the chosen
+transform programs' primitive applications in the sequence IR.
 """
 
 from __future__ import annotations
@@ -27,11 +28,15 @@ from repro.hardware import get_platform
 
 @dataclass
 class Fig5Result:
+    #: per network: primitive name -> number of applications in the chosen
+    #: configuration (a five-step program contributes five counts)
     frequencies: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: per network: how many layers received a neural program
+    neural_layer_counts: dict[str, int] = field(default_factory=dict)
     layer_counts: dict[str, int] = field(default_factory=dict)
 
-    def count(self, network: str, kind: str) -> int:
-        return self.frequencies.get(network, {}).get(kind, 0)
+    def count(self, network: str, primitive: str) -> int:
+        return self.frequencies.get(network, {}).get(primitive, 0)
 
     def total(self, network: str) -> int:
         return sum(self.frequencies.get(network, {}).values())
@@ -51,17 +56,21 @@ def run(scale: str | ExperimentScale = "ci", seed: int = 0,
                                tuner_trials=scale.pipeline.tuner_trials,
                                space=UnifiedSpaceConfig(seed=seed), seed=seed)
         outcome = search.search(model, images, labels, dataset.spec.image_shape)
-        result.frequencies[network] = dict(outcome.sequence_frequency())
+        result.frequencies[network] = dict(outcome.primitive_frequency())
+        result.neural_layer_counts[network] = sum(
+            1 for choice in outcome.choices.values() if choice.sequence.is_neural)
         result.layer_counts[network] = len(outcome.choices)
     return result
 
 
 def format_report(result: Fig5Result) -> str:
-    kinds = sorted({kind for counts in result.frequencies.values() for kind in counts})
+    primitives = sorted({name for counts in result.frequencies.values()
+                         for name in counts})
     rows = []
     for network, counts in result.frequencies.items():
-        rows.append([network, result.layer_counts[network]] + [counts.get(k, 0) for k in kinds])
-    table = format_table(["network", "layers"] + kinds, rows)
+        rows.append([network, result.layer_counts[network]]
+                    + [counts.get(p, 0) for p in primitives])
+    table = format_table(["network", "layers"] + primitives, rows)
     return f"Figure 5: frequency of operation application\n{table}"
 
 

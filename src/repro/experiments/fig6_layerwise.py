@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.engine import EvaluationEngine
-from repro.core.sequences import SequenceSpec, paper_sequences
+from repro.core.program import TransformProgram
+from repro.core.sequences import paper_sequences, predefined_program
 from repro.core.workloads import extract_workloads, unique_shapes
 from repro.experiments.common import (
     ExperimentScale,
@@ -72,12 +73,13 @@ def run(scale: str | ExperimentScale = "ci", seed: int = 0, max_layers: int = 11
     scores = sorted(profile.score_of(name) for _shape, name in distinct)
     cutoff = scores[int(len(scores) * 0.6)] if scores else 0.0
 
-    sequences: dict[str, SequenceSpec] = {"NAS (G=2)": SequenceSpec(kind="group", group=2)}
+    sequences: dict[str, TransformProgram] = {
+        "NAS (G=2)": predefined_program("group", group=2)}
     sequences.update({f"Seq.{i}": seq for i, seq in
                       enumerate(paper_sequences().values(), start=1)})
 
     result = Fig6Result(sequences=tuple(sequences))
-    standard = SequenceSpec(kind="standard")
+    standard = predefined_program("standard")
     for index, (shape, name) in enumerate(distinct):
         baseline = engine.tuned_latency(shape, standard)
         row = LayerRow(layer_index=index, shape=shape, baseline_seconds=baseline,

@@ -1,20 +1,24 @@
 """Table 1: the autotuning primitives of the unified space.
 
 The experiment regenerates the table and verifies, by construction, that
-every primitive is applicable to a representative convolution loop nest
-(program and neural primitives through the scheduling layer, GPU mapping
-primitives through ``bind``).
+every primitive is applicable to a representative convolution loop nest.
+Each primitive is expressed as a one-or-two-step
+:class:`~repro.core.program.TransformProgram` and compiled through the
+IR's single lowering path — the same path the engine, search and drivers
+use — then lowered and priced by the cost model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.program import TransformProgram, step
 from repro.core.unified_space import TABLE1_PRIMITIVES, primitive_catalogue
+from repro.errors import TransformError
 from repro.experiments.common import format_table
 from repro.hardware import get_platform
 from repro.poly.statement import ConvolutionShape
-from repro.tenir import conv2d_compute, create_schedule, lower
+from repro.tenir import lower
 from repro.hardware.cost_model import estimate_latency
 
 
@@ -27,37 +31,39 @@ class Table1Result:
         return all(applicable for *_rest, applicable in self.rows)
 
 
+#: One representative program per Table-1 row.
+_EXERCISES: dict[str, tuple] = {
+    "reorder": (step("reorder", front=("ci", "co")),),
+    "tile": (step("tile", iterator="ow", factor=4),),
+    "unroll": (step("unroll", iterator="kw", factor=3),),
+    "prefetch": (step("prefetch", iterator="ow"),),
+    "split": (step("split", iterator="ci", factor=4),),
+    "fuse": (step("split", iterator="ci", factor=4),
+             step("fuse", first="ci_o", second="ci_i")),
+    "bottleneck": (step("bottleneck", iterator="co", factor=2),),
+    "group": (step("group", factor=2),),
+    "blockIdx": (step("bind", iterator="co", tag="blockIdx.x"),),
+    "threadIdx": (step("bind", iterator="ow", tag="threadIdx.x"),),
+    "vthread": (step("bind", iterator="oh", tag="vthread"),),
+}
+
+
 def _exercise(primitive: str, shape: ConvolutionShape) -> bool:
-    """Apply one primitive to a fresh conv schedule and lower the result."""
-    stage = create_schedule(conv2d_compute(shape))
-    if primitive == "reorder":
-        stage.reorder("ci", "co")
-    elif primitive == "tile":
-        stage.tile("ow", 4)
-    elif primitive == "unroll":
-        stage.unroll("kw", 3)
-    elif primitive == "prefetch":
-        stage.prefetch("ow")
-    elif primitive == "split":
-        stage.split("ci", 4)
-    elif primitive == "fuse":
-        stage.split("ci", 4)
-        stage.fuse("ci_o", "ci_i")
-    elif primitive == "bottleneck":
-        stage.bottleneck("co", 2)
-    elif primitive == "group":
-        stage.group(2)
-    elif primitive == "blockIdx":
-        stage.bind("co", "blockIdx.x")
-    elif primitive == "threadIdx":
-        stage.bind("ow", "threadIdx.x")
-    elif primitive == "vthread":
-        stage.bind("oh", "vthread")
-    else:
+    """Compile a one-primitive program and lower the result."""
+    steps = _EXERCISES.get(primitive)
+    if steps is None:
         return False
-    nest = lower(stage)
-    estimate_latency(nest, get_platform("cpu"))
-    return nest.macs > 0
+    program = TransformProgram(name=f"table1_{primitive}", steps=steps)
+    try:
+        stages = program.compile(shape)
+    except TransformError:
+        return False
+    total_macs = 0
+    for stage in stages:
+        nest = lower(stage)
+        estimate_latency(nest, get_platform("cpu"))
+        total_macs += nest.macs
+    return total_macs > 0
 
 
 def run(scale: str = "ci", seed: int = 0) -> Table1Result:

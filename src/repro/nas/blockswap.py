@@ -22,6 +22,31 @@ from repro.nn.module import Module
 from repro.utils import make_rng
 
 
+def substitution_program(kind: str):
+    """The NAS candidate ``kind`` as a unified-IR transform program.
+
+    Every operator in BlockSwap's fixed candidate list is a point in the
+    unified space, so its substitutions can be re-expressed — and re-tuned,
+    counted or interpolated — as :class:`~repro.core.program.TransformProgram`
+    values, the same object the unified search manipulates.
+    """
+    from repro.core.sequences import predefined_program
+
+    mapping = {
+        "standard": ("standard", {}),
+        "group2": ("group", {"group": 2}),
+        "group4": ("group", {"group": 4}),
+        "bottleneck2": ("bottleneck", {"bottleneck": 2}),
+        "bottleneck4": ("bottleneck", {"bottleneck": 4}),
+        "depthwise": ("depthwise", {}),
+        "spatial2": ("spatial_bottleneck", {"spatial": 2}),
+    }
+    if kind not in mapping:
+        raise SearchError(f"NAS candidate kind '{kind}' has no program equivalent")
+    name, params = mapping[kind]
+    return predefined_program(name, **params)
+
+
 @dataclass(frozen=True)
 class BlockSubstitution:
     """One chosen substitution: which conv becomes which candidate."""
@@ -35,6 +60,11 @@ class BlockSubstitution:
     @property
     def parameter_saving(self) -> int:
         return self.original_parameters - self.candidate_parameters
+
+    @property
+    def program(self):
+        """This substitution as a unified-IR transform program."""
+        return substitution_program(self.kind)
 
 
 @dataclass
@@ -55,6 +85,10 @@ class BlockSwapResult:
 
     def plan(self) -> dict[str, str]:
         return {sub.layer: sub.kind for sub in self.substitutions}
+
+    def as_programs(self) -> dict:
+        """The substitution plan in the unified sequence IR (layer -> program)."""
+        return {sub.layer: sub.program for sub in self.substitutions}
 
 
 def _candidate_kinds_for(conv: Conv2d, kinds: tuple[str, ...]) -> list[str]:

@@ -157,6 +157,67 @@ class ConvTransformConfig:
     group_factors: tuple[int, ...] = (1,)
     unroll: int = 1  # schedule-only; kept so sequences round-trip losslessly
 
+    @classmethod
+    def from_neural_transformations(cls, per_stage, *, source_in_channels: int,
+                                    unroll: int = 1) -> "ConvTransformConfig":
+        """Fold the neural transformations of each produced loop nest into a
+        network-level operator description.
+
+        ``per_stage`` holds, for each loop nest the transform program
+        produced, the neural transformations applied to it (the objects a
+        :class:`~repro.tenir.schedule.Stage` records).  The fold keys on the
+        canonical convolution iterators: shrinking ``co``/``ci`` is output/
+        input bottlenecking, shrinking ``oh``/``ow`` is spatial
+        bottlenecking, grouping contributes one group factor per nest and
+        depthwise resolves to grouping by the effective input channels.
+        Bottleneck factors are aggregated with ``max`` across nests, so
+        per-nest asymmetries collapse to the strongest reduction.
+        """
+        # The polyhedral layer never imports nn, so pulling the concrete
+        # transformation classes in here creates no cycle; keeping the
+        # import local preserves the substrate's independence otherwise.
+        from repro.poly.transforms import Bottleneck, Depthwise, Group
+
+        bottleneck_out = bottleneck_in = 1
+        spatial_h = spatial_w = 1
+        group_factors: list[int | None] = []
+        for transformations in per_stage:
+            group: int | None = 1
+            stage_out = stage_in = stage_h = stage_w = 1
+            for transformation in transformations:
+                if isinstance(transformation, Depthwise):
+                    group = None  # resolved to the effective input channels below
+                elif isinstance(transformation, Group):
+                    # Only channel grouping has a network-level operator;
+                    # groupings of other iterator pairs stay schedule-level.
+                    if transformation.outer == "co" and transformation.inner == "ci":
+                        group = (group or 1) * transformation.factor
+                elif isinstance(transformation, Bottleneck):
+                    if transformation.iterator == "co":
+                        stage_out *= transformation.factor
+                    elif transformation.iterator == "ci":
+                        stage_in *= transformation.factor
+                    elif transformation.iterator == "oh":
+                        stage_h *= transformation.factor
+                    elif transformation.iterator == "ow":
+                        stage_w *= transformation.factor
+            bottleneck_out = max(bottleneck_out, stage_out)
+            bottleneck_in = max(bottleneck_in, stage_in)
+            spatial_h = max(spatial_h, stage_h)
+            spatial_w = max(spatial_w, stage_w)
+            group_factors.append(group)
+        effective_in = max(source_in_channels // bottleneck_in, 1)
+        resolved = tuple(factor if factor is not None else effective_in
+                         for factor in group_factors) or (1,)
+        return cls(
+            bottleneck_out=bottleneck_out,
+            bottleneck_in=bottleneck_in,
+            spatial_bottleneck=spatial_h if spatial_h == spatial_w else max(spatial_h,
+                                                                            spatial_w),
+            group_factors=resolved,
+            unroll=unroll,
+        )
+
     def compute_reduction(self) -> float:
         """Approximate factor by which multiply-accumulates are reduced."""
         group_reduction = len(self.group_factors) / sum(1.0 / g for g in self.group_factors)

@@ -79,7 +79,8 @@ class Interchange(Transformation):
         order[i], order[j] = order[j], order[i]
         if not schedule_preserves_dependences(statement, order):
             raise LegalityError(
-                f"interchange({self.first},{self.second}) violates a data dependence")
+                f"interchange({self.first},{self.second}) violates a data dependence",
+                primitive="reorder", reason="violates a data dependence")
 
     def apply(self, statement: Statement) -> Statement:
         self.validate(statement)
@@ -104,7 +105,8 @@ class Reorder(Transformation):
             raise TransformError(
                 f"reorder {self.order} is not a permutation of {statement.domain.names}")
         if not schedule_preserves_dependences(statement, list(self.order)):
-            raise LegalityError(f"reorder{self.order} violates a data dependence")
+            raise LegalityError(f"reorder{self.order} violates a data dependence",
+                                primitive="reorder", reason="violates a data dependence")
 
     def apply(self, statement: Statement) -> Statement:
         self.validate(statement)
@@ -133,7 +135,8 @@ class Reverse(Transformation):
 
         if has_loop_carried_dependence(statement, self.iterator):
             raise LegalityError(
-                f"reverse({self.iterator}) inverts a loop-carried dependence")
+                f"reverse({self.iterator}) inverts a loop-carried dependence",
+                primitive="reverse", reason="inverts a loop-carried dependence")
 
     def apply(self, statement: Statement) -> Statement:
         self.validate(statement)
@@ -203,7 +206,8 @@ class Tile(Transformation):
         outer_name = f"{self.iterator}_o"
         order = [outer_name] + [n for n in stripped.domain.names if n != outer_name]
         if not schedule_preserves_dependences(stripped, order):
-            raise LegalityError(f"tile({self.iterator},{self.factor}) violates a dependence")
+            raise LegalityError(f"tile({self.iterator},{self.factor}) violates a dependence",
+                                primitive="tile", reason="violates a data dependence")
         return (stripped.with_domain(stripped.domain.reorder(order))
                 .with_schedule(AffineMap.identity(order)))
 

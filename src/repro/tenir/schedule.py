@@ -182,6 +182,39 @@ class Stage:
         return self
 
     # ------------------------------------------------------------------
+    def clone(self) -> "Stage":
+        """An independent copy of this stage's schedule state.
+
+        The statement and the annotation values are immutable (every
+        mutation replaces them), so sharing them is safe; only the
+        containers are copied.  Used for all-or-nothing application of a
+        primitive across several stages.
+        """
+        twin = Stage(self.computation)
+        twin.statement = self.statement
+        twin.annotations = dict(self.annotations)
+        twin.history = list(self.history)
+        twin.neural_transformations = list(self.neural_transformations)
+        return twin
+
+    def signature(self) -> tuple:
+        """Canonical content of the scheduled nest, independent of how it
+        was built.
+
+        Two stages with equal signatures lower to the same nest and cost
+        the same under the analytic model; the transform-program golden
+        tests use this to prove the IR's single lowering path reproduces
+        the legacy per-kind builders.
+        """
+        statement = self.statement
+        return (
+            tuple((it.name, it.extent) for it in statement.domain.iterators),
+            tuple((a.tensor, a.is_write, str(a.map)) for a in statement.accesses),
+            tuple(sorted((name, repr(annotation))
+                         for name, annotation in self.annotations.items()
+                         if name in statement.domain)),
+        )
+
     def describe(self) -> str:
         return " -> ".join(self.history) if self.history else "default"
 

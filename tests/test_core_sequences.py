@@ -1,4 +1,4 @@
-"""Tests for transformation sequences and the unified space catalogue."""
+"""Tests for the predefined sequences and the unified space catalogue."""
 
 from __future__ import annotations
 
@@ -9,10 +9,12 @@ from repro.core import (
     SEQUENCE_KINDS,
     SequenceSpec,
     TABLE1_PRIMITIVES,
+    TransformProgram,
     UnifiedSpace,
     UnifiedSpaceConfig,
     nas_candidate_sequences,
     paper_sequences,
+    predefined_program,
     primitive_catalogue,
     random_sequence,
 )
@@ -26,10 +28,14 @@ def shape():
     return ConvolutionShape(c_out=16, c_in=16, h_out=8, w_out=8, k_h=3, k_w=3)
 
 
-class TestSequenceSpecs:
+class TestPredefinedPrograms:
     def test_unknown_kind_rejected(self):
         with pytest.raises(TransformError):
             SequenceSpec(kind="winograd")
+
+    def test_predefined_programs_are_transform_programs(self):
+        for kind in SEQUENCE_KINDS:
+            assert isinstance(predefined_program(kind), TransformProgram)
 
     def test_standard_sequence_is_not_neural(self):
         assert not SequenceSpec(kind="standard").is_neural
@@ -57,13 +63,13 @@ class TestSequenceSpecs:
         assert SequenceSpec(kind="standard").applicable(grouped)
         assert not SequenceSpec(kind="group").applicable(grouped)
 
-    def test_paper_sequence_names_match_section_7_3(self):
+    def test_paper_sequence_notation_matches_section_7_3(self):
         sequences = paper_sequences()
-        assert sequences["seq1"].transform_names() == (
-            "split", "interchange", "group", "interchange", "fuse")
-        assert sequences["seq2"].transform_names() == ("unroll", "group", "interchange")
-        assert sequences["seq3"].transform_names() == (
-            "split", "group", "interchange", "group")
+        assert sequences["seq1"].primitive_names() == (
+            "split", "reorder", "group", "reorder", "fuse")
+        assert sequences["seq2"].primitive_names() == ("unroll", "group", "reorder")
+        assert sequences["seq3"].primitive_names() == (
+            "split", "group", "group", "reorder")
 
     def test_nas_candidates_cover_classic_operators(self):
         kinds = {spec.kind for spec in nas_candidate_sequences().values()}
@@ -107,8 +113,8 @@ class TestSequenceReductions:
             assert config.compute_reduction() == pytest.approx(loop_reduction, rel=0.35)
 
     def test_describe_mentions_parameters(self):
-        assert "G=4" in SequenceSpec(kind="group", group=4).describe()
-        assert "B=2" in SequenceSpec(kind="bottleneck", bottleneck=2).describe()
+        assert "factor=4" in SequenceSpec(kind="group", group=4).describe()
+        assert "factor=2" in SequenceSpec(kind="bottleneck", bottleneck=2).describe()
 
 
 class TestUnifiedSpace:
@@ -126,6 +132,22 @@ class TestUnifiedSpace:
         space = UnifiedSpace(UnifiedSpaceConfig(seed=0))
         kinds = {c.kind for c in space.candidate_sequences(shape)}
         assert {"seq1", "seq2", "seq3"} <= kinds
+
+    def test_candidates_include_random_compositions(self, shape):
+        space = UnifiedSpace(UnifiedSpaceConfig(seed=0, random_compositions_per_layer=4))
+        kinds = {c.kind for c in space.candidate_sequences(shape)}
+        assert any(kind.startswith("compose[") for kind in kinds)
+
+    def test_structural_rejections_attributed_to_primitives(self):
+        # Odd channel counts: grouping and channel bottlenecking cannot divide.
+        awkward = ConvolutionShape(c_out=15, c_in=15, h_out=8, w_out=8, k_h=3, k_w=3)
+        space = UnifiedSpace(UnifiedSpaceConfig(seed=0))
+        rejections: dict[str, int] = {}
+        space.candidate_sequences(awkward, rejections=rejections)
+        assert rejections
+        assert set(rejections) <= {"group", "bottleneck", "depthwise", "split",
+                                   "tile", "fuse", "reorder", "unroll", "prefetch"}
+        assert rejections.get("group", 0) > 0
 
     def test_sample_assignment_covers_all_layers(self, shape):
         space = UnifiedSpace(UnifiedSpaceConfig(seed=0))
