@@ -156,7 +156,16 @@ class FisherOracle:
 
 
 class EvaluationEngine:
-    """Shared latency / Fisher oracles with a persistent cross-search cache."""
+    """Shared latency / Fisher oracles with a persistent cross-search cache.
+
+    The engine owns a persistent executor pool: the first parallel
+    :meth:`tune_many` call creates a ``ThreadPoolExecutor`` /
+    ``ProcessPoolExecutor`` (keyed by mode and worker count) and every
+    later call reuses it, so batch tuning does not pay pool spin-up per
+    generation.  Call :meth:`close` — or use the engine as a context
+    manager — to shut the workers down; a closed engine transparently
+    recreates pools if it is used again.
+    """
 
     def __init__(self, platform: PlatformSpec, *, tuner_trials: int = 8,
                  seed: int | None = 0, cache_path: str | Path | None = None,
@@ -174,8 +183,53 @@ class EvaluationEngine:
         self.cache_path = Path(cache_path) if cache_path is not None else None
         self.statistics = EngineStatistics()
         self._latency_cache: dict[LatencyKey, float] = {}
+        self._pools: dict[tuple[str, int | None], object] = {}
+        self._cache_dirty = False
+        self._synced_path: Path | None = None
         if self.cache_path is not None and self.cache_path.exists():
             self.load_cache(self.cache_path)
+            # The constructor load leaves memory and file identical, so the
+            # first save to the same path can be skipped entirely.
+            self._cache_dirty = False
+            self._synced_path = self.cache_path
+
+    # ------------------------------------------------------------------
+    # The persistent worker pool
+    # ------------------------------------------------------------------
+    def _executor(self, parallel: str, max_workers: int | None):
+        """The persistent executor for ``(parallel, max_workers)``.
+
+        Created lazily on first use and reused across :meth:`tune_many`
+        calls until :meth:`close`.
+        """
+        key = (parallel, max_workers)
+        pool = self._pools.get(key)
+        if pool is None:
+            if parallel == "thread":
+                from concurrent.futures import ThreadPoolExecutor as Executor
+            else:
+                from concurrent.futures import ProcessPoolExecutor as Executor
+            pool = Executor(max_workers=max_workers)
+            self._pools[key] = pool
+        return pool
+
+    def close(self) -> None:
+        """Shut down the persistent executor pools (idempotent)."""
+        pools, self._pools = self._pools, {}
+        for pool in pools.values():
+            pool.shutdown()
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing is interpreter-specific
+        try:
+            self.close()
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # Cache keys
@@ -234,7 +288,24 @@ class EvaluationEngine:
                                       self.tuner_trials, self.seed))
         self.statistics.tuner_calls += calls
         self._latency_cache[key] = seconds
+        self._cache_dirty = True
         return seconds
+
+    def cached_latency(self, shape: ConvolutionShape,
+                       program: TransformProgram) -> float:
+        """Read a latency expected to be cached, without touching statistics.
+
+        The batched search strategies account for their queries once, when
+        they submit the generation through :meth:`tune_many`; the
+        per-assignment sums that follow re-read the same keys and would
+        double-count every query as an extra hit if they went through
+        :meth:`tuned_latency`.  A genuinely missing key falls back to the
+        counting path (and is tuned).
+        """
+        value = self._latency_cache.get(self.latency_key(shape, program))
+        if value is not None:
+            return value
+        return self.tuned_latency(shape, program)
 
     def tune_many(self, items: Iterable[tuple[ConvolutionShape, TransformProgram]],
                   parallel: str | None = None,
@@ -242,19 +313,27 @@ class EvaluationEngine:
         """Batch form of :meth:`tuned_latency`.
 
         Deduplicates the requests, tunes only the cache misses — serially
-        or on a thread/process pool — and returns the latencies in request
-        order.  Each miss is an independent pure function of its key, so
-        the parallel result is bit-for-bit identical to the serial one.
+        or on the engine's persistent thread/process pool — and returns
+        the latencies in request order.  Each miss is an independent pure
+        function of its key, so the parallel result is bit-for-bit
+        identical to the serial one.
+
+        Hits and misses are counted per request against the cache state at
+        call entry: a request list naming the same missing key twice
+        records two misses (the work is still done once).
         """
         parallel = parallel or self.parallel
         if parallel not in PARALLEL_MODES:
             raise EngineError(
                 f"unknown parallel mode '{parallel}'; expected one of {PARALLEL_MODES}")
         items = list(items)
+        hits = 0
         missing: dict[LatencyKey, tuple[ConvolutionShape, TransformProgram]] = {}
         for shape, program in items:
             key = self.latency_key(shape, program)
-            if key not in self._latency_cache and key not in missing:
+            if key in self._latency_cache:
+                hits += 1
+            elif key not in missing:
                 self._require_legal(shape, program)
                 missing[key] = (shape, program)
         if missing:
@@ -263,18 +342,14 @@ class EvaluationEngine:
             if parallel == "serial" or len(tasks) == 1:
                 outcomes = [_tune_entry(task) for task in tasks]
             else:
-                if parallel == "thread":
-                    from concurrent.futures import ThreadPoolExecutor as Executor
-                else:
-                    from concurrent.futures import ProcessPoolExecutor as Executor
-                workers = max_workers or self.max_workers
-                with Executor(max_workers=workers) as pool:
-                    outcomes = list(pool.map(_tune_entry, tasks))
+                pool = self._executor(parallel, max_workers or self.max_workers)
+                outcomes = list(pool.map(_tune_entry, tasks))
             for key, (seconds, calls) in zip(missing, outcomes):
                 self._latency_cache[key] = seconds
                 self.statistics.tuner_calls += calls
-        self.statistics.latency_misses += len(missing)
-        self.statistics.latency_hits += len(items) - len(missing)
+            self._cache_dirty = True
+        self.statistics.latency_misses += len(items) - hits
+        self.statistics.latency_hits += hits
         return [self._latency_cache[self.latency_key(shape, program)]
                 for shape, program in items]
 
@@ -297,10 +372,19 @@ class EvaluationEngine:
     # Persistence
     # ------------------------------------------------------------------
     def save_cache(self, path: str | Path | None = None) -> Path:
-        """Write the latency cache to disk (pickle; keys carry full context)."""
+        """Write the latency cache to disk (pickle; keys carry full context).
+
+        Incremental: when nothing was added since the cache was last
+        synchronised with ``target`` (saved to it, or loaded from it at
+        construction), the write is skipped entirely — drivers can call
+        ``save_cache`` after every search without rewriting an unchanged
+        store each time.
+        """
         target = Path(path) if path is not None else self.cache_path
         if target is None:
             raise EngineError("no cache path given and the engine has none configured")
+        if not self._cache_dirty and target == self._synced_path and target.exists():
+            return target
         target.parent.mkdir(parents=True, exist_ok=True)
         payload = {"version": CACHE_FORMAT_VERSION, "entries": dict(self._latency_cache)}
         # Write-then-rename so concurrent readers (other processes sharing the
@@ -309,6 +393,8 @@ class EvaluationEngine:
         with open(scratch, "wb") as handle:
             pickle.dump(payload, handle)
         os.replace(scratch, target)
+        self._cache_dirty = False
+        self._synced_path = target
         return target
 
     def load_cache(self, path: str | Path | None = None) -> int:
@@ -345,5 +431,8 @@ class EvaluationEngine:
             if key not in self._latency_cache:
                 self._latency_cache[key] = seconds
                 loaded += 1
+        if loaded:
+            # Conservative: merged entries may not be in the synced target.
+            self._cache_dirty = True
         self.statistics.loaded_entries += loaded
         return loaded

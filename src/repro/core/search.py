@@ -224,6 +224,13 @@ class GreedyStrategy:
         replacements: dict[str, float] = {}
         ordered = sorted(context.workloads,
                          key=lambda w: context.baseline_latency[w.name], reverse=True)
+        # Every candidate of every layer is about to be latency-sorted, so
+        # submit the whole generation as one batch (deduplicated, tuned on
+        # the engine's persistent pool when configured) instead of letting
+        # the sort pull latencies one at a time.
+        context.engine.tune_many(
+            [(context.shapes[w.name], sequence)
+             for w in context.workloads for sequence in context.candidates[w.name]])
         for workload in ordered:
             candidates = sorted(
                 context.candidates[workload.name],
@@ -264,12 +271,20 @@ class RandomStrategy:
     """The paper's procedure: random configurations, Fisher filter, best wins."""
 
     def run(self, search: "UnifiedSearch", context: _SearchContext):
+        # Sampling and the Fisher filter consume no latency information, so
+        # the whole generation is drawn and filtered first and the
+        # survivors' (shape, program) pairs go to the engine as one batch;
+        # the per-assignment sums below then run entirely against the
+        # cache.  The RNG stream and the outcome match the previous
+        # one-at-a-time loop exactly.
+        sampled = [search.space.sample_assignment(context.shapes, context.candidates,
+                                                  context.rng)
+                   for _ in range(search.configurations)]
+        survivors = [assignment for assignment in sampled
+                     if search._assignment_legal(context, assignment)]
+        search._prefetch_latencies(context, survivors)
         best_assignment, best_latency = None, float("inf")
-        for _ in range(search.configurations):
-            assignment = search.space.sample_assignment(context.shapes, context.candidates,
-                                                        context.rng)
-            if not search._assignment_legal(context, assignment):
-                continue
+        for assignment in survivors:
             latency = search._assignment_latency(context, assignment)
             if latency < best_latency:
                 best_assignment, best_latency = assignment, latency
@@ -283,20 +298,24 @@ class EvolutionaryStrategy:
     def run(self, search: "UnifiedSearch", context: _SearchContext):
         population_size = max(4, min(12, search.configurations // 8))
         generations = max(1, search.configurations // population_size - 1)
-        population: list[tuple[dict[str, TransformProgram], float]] = []
-        while (len(population) < population_size
+        # Fill the initial population (legality only — no latency queries),
+        # then evaluate it as one batch.
+        seeds: list[dict[str, TransformProgram]] = []
+        while (len(seeds) < population_size
                and context.statistics.configurations_evaluated < search.configurations):
             assignment = search.space.sample_assignment(context.shapes, context.candidates,
                                                         context.rng)
             if search._assignment_legal(context, assignment):
-                population.append((assignment,
-                                   search._assignment_latency(context, assignment)))
-        if not population:
+                seeds.append(assignment)
+        if not seeds:
             return None, float("inf")
+        search._prefetch_latencies(context, seeds)
+        population = [(assignment, search._assignment_latency(context, assignment))
+                      for assignment in seeds]
         for _ in range(generations):
             population.sort(key=lambda item: item[1])
             parents = population[:max(2, population_size // 2)]
-            children = []
+            offspring: list[dict[str, TransformProgram]] = []
             for parent_assignment, _ in parents:
                 child = dict(parent_assignment)
                 layer = context.workloads[
@@ -304,7 +323,11 @@ class EvolutionaryStrategy:
                 options = context.candidates[layer]
                 child[layer] = options[int(context.rng.integers(0, len(options)))]
                 if search._assignment_legal(context, child):
-                    children.append((child, search._assignment_latency(context, child)))
+                    offspring.append(child)
+            # The whole surviving generation is tuned in one submission.
+            search._prefetch_latencies(context, offspring)
+            children = [(child, search._assignment_latency(context, child))
+                        for child in offspring]
             population = (population + children)
             population.sort(key=lambda item: item[1])
             population = population[:population_size]
@@ -330,6 +353,21 @@ class LocalSearchStrategy:
                and context.statistics.configurations_evaluated < search.configurations):
             improved = False
             for workload in context.workloads:
+                # One batched submission per layer sweep: every candidate
+                # move for this layer differs from the incumbent in one
+                # entry, so its latencies are the incumbent's plus this
+                # layer's candidates.  Only moves the budget still allows
+                # are submitted (each costs one legality evaluation), so
+                # speculation beyond the old lazy path is bounded to
+                # Fisher-rejected moves inside the budgeted window.
+                remaining = (search.configurations
+                             - context.statistics.configurations_evaluated)
+                moves = [sequence for sequence in context.candidates[workload.name]
+                         if sequence != assignment[workload.name]]
+                if remaining > 0 and moves:
+                    context.engine.tune_many(
+                        [(context.shapes[workload.name], sequence)
+                         for sequence in moves[:remaining]])
                 for sequence in context.candidates[workload.name]:
                     if context.statistics.configurations_evaluated >= search.configurations:
                         return assignment, best_latency
@@ -468,7 +506,9 @@ class UnifiedSearch:
     # ------------------------------------------------------------------
     def _layer_latency(self, context: _SearchContext, layer: str,
                        sequence: TransformProgram) -> float:
-        return context.engine.tuned_latency(context.shapes[layer], sequence)
+        # Strategies account for their queries when they submit the batched
+        # generation; this read-back is bookkeeping, not a new query.
+        return context.engine.cached_latency(context.shapes[layer], sequence)
 
     def _layer_fisher(self, context: _SearchContext, workload: LayerWorkload,
                       sequence: TransformProgram) -> float:
@@ -478,6 +518,22 @@ class UnifiedSearch:
                             assignment: dict[str, TransformProgram]) -> float:
         return sum(self._layer_latency(context, w.name, assignment[w.name])
                    for w in context.workloads)
+
+    def _prefetch_latencies(self, context: _SearchContext,
+                            assignments: list[dict[str, TransformProgram]]) -> None:
+        """Submit every (shape, program) pair of ``assignments`` as one batch.
+
+        The engine deduplicates and tunes only the misses (on its
+        persistent pool when configured), so the per-assignment
+        :meth:`_assignment_latency` sums that follow are pure cache reads.
+        Latencies are pure functions of their keys, so batching changes
+        no result — only the wall-clock.
+        """
+        if not assignments:
+            return
+        context.engine.tune_many(
+            [(context.shapes[w.name], assignment[w.name])
+             for assignment in assignments for w in context.workloads])
 
     def _assignment_legal(self, context: _SearchContext,
                           assignment: dict[str, TransformProgram]) -> bool:

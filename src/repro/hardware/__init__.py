@@ -13,6 +13,7 @@ from repro.hardware.cost_model import (
     LatencyEstimate,
     estimate_dram_traffic,
     estimate_latency,
+    estimate_latency_batch,
     estimate_roofline_bound,
 )
 from repro.hardware.measure import (
@@ -26,6 +27,6 @@ __all__ = [
     "ARM_A57", "INTEL_I7", "MAXWELL_MGPU", "NVIDIA_1080TI", "PLATFORMS",
     "PlatformSpec", "get_platform",
     "LatencyEstimate", "estimate_dram_traffic", "estimate_latency",
-    "estimate_roofline_bound",
+    "estimate_latency_batch", "estimate_roofline_bound",
     "GRAPH_OVERHEAD_US", "NetworkMeasurement", "measure_network", "speedup",
 ]

@@ -21,6 +21,9 @@ would, which is what the search and all the figures rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
 
 from repro.hardware.platform import PlatformSpec
 from repro.tenir.lower import LoweredAccess, LoweredLoop, LoweredNest
@@ -95,6 +98,23 @@ def estimate_dram_traffic(nest: LoweredNest, cache_bytes: int) -> float:
             tensor_bytes *= 2
         traffic_bytes += tensor_bytes
     return traffic_bytes
+
+
+def _vectorised_dram_traffic(nest: LoweredNest, cache_bytes: int) -> float:
+    """DRAM traffic from the nest's precomputed locality arrays.
+
+    Same quantity as :func:`estimate_dram_traffic`, computed over the
+    memoised :class:`~repro.tenir.lower.NestTrafficArrays` instead of
+    per-depth Python loops.  Every intermediate value is an exact integer
+    in float64, so the result equals the scalar path bit for bit (pinned
+    by the equivalence tests).
+    """
+    arrays = nest.traffic_arrays()
+    fits = arrays.working_set_bytes <= cache_bytes
+    depth = int(np.argmax(fits)) if fits.any() else len(nest.loops)
+    per_access = arrays.tensor_footprints[depth] * arrays.refetch[depth] * nest.element_bytes
+    per_access = np.maximum(per_access, arrays.compulsory_bytes)
+    return float(np.sum(per_access * arrays.write_factor))
 
 
 # ---------------------------------------------------------------------------
@@ -249,6 +269,74 @@ def estimate_latency(nest: LoweredNest, platform: PlatformSpec) -> LatencyEstima
         parallel_fraction=parallel_fraction,
         details={"instruction_efficiency": _instruction_efficiency(nest)},
     )
+
+
+def estimate_latency_batch(nests: Sequence[LoweredNest],
+                           platform: PlatformSpec) -> list[LatencyEstimate]:
+    """Batch form of :func:`estimate_latency`, vectorised with numpy.
+
+    The per-nest quantities (flops, DRAM traffic from the memoised
+    locality arrays, schedule-quality factors) are packed into arrays and
+    the roofline combination runs once over the whole batch.  The scalar
+    path is kept as the reference: for every nest the batch result equals
+    ``estimate_latency(nest, platform)`` exactly — same IEEE operations in
+    the same order — which the property tests pin.
+
+    This is what the auto-tuner's fast path scores a whole trial
+    generation with.
+    """
+    nests = list(nests)
+    if not nests:
+        return []
+    count = len(nests)
+    flops = np.empty(count, dtype=np.float64)
+    dram_bytes = np.empty(count, dtype=np.float64)
+    instr = np.empty(count, dtype=np.float64)
+    factor_a = np.empty(count, dtype=np.float64)
+    factor_b = np.empty(count, dtype=np.float64)
+    factor_c = np.empty(count, dtype=np.float64)
+    for index, nest in enumerate(nests):
+        flops[index] = 2.0 * nest.macs
+        dram_bytes[index] = _vectorised_dram_traffic(nest, platform.cache_bytes)
+        instr[index] = _instruction_efficiency(nest)
+        if platform.is_gpu:
+            factor_a[index], factor_b[index], factor_c[index] = _gpu_mapping(nest, platform)
+        else:
+            factor_a[index], factor_b[index] = _cpu_parallelism(nest, platform)
+            factor_c[index] = _vector_efficiency(nest, platform)
+    overhead = platform.launch_overhead_us * 1e-6
+
+    if platform.is_gpu:
+        concurrency, coalescing, mapping_quality = factor_a, factor_b, factor_c
+        effective_flops = platform.peak_flops * concurrency * mapping_quality * instr
+        compute_seconds = flops / np.maximum(effective_flops, 1.0)
+        memory_seconds = dram_bytes / (platform.dram_bandwidth * coalescing)
+        vector_eff = coalescing
+        parallel_fraction = concurrency
+    else:
+        cores_used, parallel_eff, vector_eff = factor_a, factor_b, factor_c
+        per_core_peak = platform.peak_flops / platform.cores
+        effective_flops = per_core_peak * cores_used * parallel_eff * vector_eff * instr
+        compute_seconds = flops / np.maximum(effective_flops, 1.0)
+        bandwidth_share = 0.55 + 0.45 * (cores_used / platform.cores)
+        memory_seconds = dram_bytes / (platform.dram_bandwidth * bandwidth_share)
+        parallel_fraction = cores_used / platform.cores
+
+    seconds = np.maximum(compute_seconds, memory_seconds) + overhead
+    return [
+        LatencyEstimate(
+            seconds=float(seconds[index]),
+            compute_seconds=float(compute_seconds[index]),
+            memory_seconds=float(memory_seconds[index]),
+            overhead_seconds=overhead,
+            dram_bytes=float(dram_bytes[index]),
+            flops=float(flops[index]),
+            vector_efficiency=float(vector_eff[index]),
+            parallel_fraction=float(parallel_fraction[index]),
+            details={"instruction_efficiency": float(instr[index])},
+        )
+        for index in range(count)
+    ]
 
 
 def estimate_roofline_bound(nest: LoweredNest, platform: PlatformSpec) -> float:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.hardware.cost_model import LatencyEstimate, estimate_latency
+from repro.hardware.cost_model import LatencyEstimate, estimate_latency_batch
 from repro.hardware.platform import PlatformSpec
 from repro.tenir.lower import LoweredNest
 
@@ -42,7 +42,7 @@ class NetworkMeasurement:
 
 def measure_network(nests: Sequence[LoweredNest], platform: PlatformSpec) -> NetworkMeasurement:
     """Estimate end-to-end latency of a network of lowered operators."""
-    estimates = [estimate_latency(nest, platform) for nest in nests]
+    estimates = estimate_latency_batch(nests, platform)
     overhead = GRAPH_OVERHEAD_US * 1e-6 * len(nests)
     total = sum(estimate.seconds for estimate in estimates) + overhead
     return NetworkMeasurement(

@@ -63,6 +63,10 @@ class AffineExpr:
 
     def substitute(self, mapping: Mapping[str, "AffineExpr"]) -> "AffineExpr":
         """Replace iterators with affine expressions (used by strip-mining)."""
+        if not any(name in mapping for name, _ in self.coeffs):
+            # Substituting only identities is a no-op; expressions are
+            # always normalised (built through ``of``), so reuse them.
+            return self
         result = AffineExpr.constant(self.const)
         for name, value in self.coeffs:
             replacement = mapping.get(name, AffineExpr.var(name))
@@ -116,7 +120,10 @@ class AffineMap:
         return tuple(expr.evaluate(values) for expr in self.exprs)
 
     def substitute(self, mapping: Mapping[str, AffineExpr]) -> "AffineMap":
-        return AffineMap(tuple(expr.substitute(mapping) for expr in self.exprs))
+        exprs = tuple(expr.substitute(mapping) for expr in self.exprs)
+        if all(new is old for new, old in zip(exprs, self.exprs)):
+            return self
+        return AffineMap(exprs)
 
     def rename(self, mapping: Mapping[str, str]) -> "AffineMap":
         return AffineMap(tuple(expr.rename(mapping) for expr in self.exprs))

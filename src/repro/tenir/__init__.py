@@ -12,12 +12,14 @@ from repro.tenir.lower import LoweredAccess, LoweredLoop, LoweredNest, lower
 from repro.tenir.autotune import (
     AutoTuner,
     ScheduleParameters,
+    TuningContext,
     TuningResult,
     classify_loops,
     cpu_schedule,
     default_schedule,
     gpu_schedule,
     naive_schedule,
+    reference_tune,
     sample_parameters,
 )
 from repro.tenir.runtime import output_shape, run, run_computation
@@ -27,8 +29,8 @@ __all__ = [
     "grouped_conv2d_compute",
     "THREAD_TAGS", "LoopAnnotation", "Stage", "create_schedule",
     "LoweredAccess", "LoweredLoop", "LoweredNest", "lower",
-    "AutoTuner", "ScheduleParameters", "TuningResult", "classify_loops",
-    "cpu_schedule", "default_schedule", "gpu_schedule", "naive_schedule",
-    "sample_parameters",
+    "AutoTuner", "ScheduleParameters", "TuningContext", "TuningResult",
+    "classify_loops", "cpu_schedule", "default_schedule", "gpu_schedule",
+    "naive_schedule", "reference_tune", "sample_parameters",
     "output_shape", "run", "run_computation",
 ]

@@ -5,6 +5,18 @@ of the parameter values inside those schedules (§6, "Baseline TVM").  This
 module provides the equivalent: parameterised CPU and GPU schedule
 templates over an arbitrary convolution-like loop nest, plus a random
 search over the template parameters evaluated with the analytic cost model.
+
+The tuner has a **fast path** built on a :class:`TuningContext`: all the
+template analysis that does not depend on the sampled parameter values —
+loop classification, the innermost-spatial axis, iterator extents and the
+divisor tables the sampler draws from — is computed once per
+(computation, platform) and amortised across every trial, the way TVM's
+auto-tuner amortises template analysis across measurements.  Trials whose
+parameters instantiate the same schedule are deduplicated, structural
+schedule state is cached and cloned instead of rebuilt, and the surviving
+candidates are scored through the vectorised batch cost model.  The
+results are bit-identical to the pre-fast-path loop, which is kept as
+:func:`reference_tune` and pinned by golden tests.
 """
 
 from __future__ import annotations
@@ -14,10 +26,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ScheduleError
-from repro.hardware.cost_model import LatencyEstimate, estimate_latency
+from repro.hardware.cost_model import (
+    LatencyEstimate,
+    estimate_latency,
+    estimate_latency_batch,
+)
 from repro.hardware.platform import PlatformSpec
 from repro.tenir.expr import Computation
-from repro.tenir.lower import LoweredNest, lower
+from repro.tenir.lower import LoweredNest, analyse_accesses, lower
 from repro.tenir.schedule import Stage, create_schedule
 from repro.utils import divisors, make_rng
 
@@ -41,9 +57,11 @@ def classify_loops(stage: Stage) -> dict[str, list[str]]:
     return {"parallel": parallel, "reduction": reduction}
 
 
-def _innermost_spatial(stage: Stage, categories: dict[str, list[str]]) -> str:
+def _innermost_spatial(stage: Stage, categories: dict[str, list[str]],
+                       nest: LoweredNest | None = None) -> str:
     """The output-parallel iterator with unit stride in the output tensor."""
-    nest = lower(stage)
+    if nest is None:
+        nest = lower(stage)
     write = next(acc for acc in nest.accesses if acc.is_write)
     best = categories["parallel"][-1]
     best_stride = None
@@ -187,6 +205,261 @@ def naive_schedule(computation: Computation) -> Stage:
 
 
 # ---------------------------------------------------------------------------
+# The tuning fast path
+# ---------------------------------------------------------------------------
+@dataclass
+class TuningContext:
+    """Template analysis precomputed once per (computation, platform).
+
+    Everything the schedule templates and the parameter sampler derive
+    from the computation alone — classified loops, the innermost-spatial
+    axis, iterator extents and the divisor tables — is resolved at build
+    time, so per-trial work shrinks to drawing parameter values and
+    instantiating the schedule.  Structural schedule state (the split /
+    reorder rewrites) and the annotation-independent half of lowering are
+    additionally cached per :meth:`schedule_key`, so trials that differ
+    only in annotations clone instead of rebuild.
+
+    Sampling (:meth:`sample`) consumes the RNG in exactly the order
+    :func:`sample_parameters` does and :meth:`instantiate` replays the
+    template logic of :func:`cpu_schedule` / :func:`gpu_schedule`, so the
+    fast path is bit-identical to the legacy one (pinned by golden tests).
+    """
+
+    computation: Computation
+    platform: PlatformSpec
+    categories: dict[str, list[str]]
+    spatial: str
+    spatial_extent: int
+    #: first output-parallel iterator (the sampler's "outer" axis)
+    sample_outer: str
+    sample_outer_extent: int
+    #: largest output-parallel iterator excluding ``spatial`` (CPU template)
+    cpu_outer: str
+    cpu_outer_extent: int
+    #: output-parallel iterators by descending extent (GPU template)
+    gpu_others: list[str]
+    reduction_set: frozenset[str]
+    spatial_options: list[int]
+    channel_options: list[int]
+    unroll_options: list[int]
+    thread_options: list[int]
+    spatial_divisors: list[int]
+    _structural: dict = field(default_factory=dict, repr=False)
+    _lowered: dict = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def build(cls, computation: Computation, platform: PlatformSpec) -> "TuningContext":
+        stage = create_schedule(computation)
+        categories = classify_loops(stage)
+        spatial = _innermost_spatial(stage, categories, nest=lower(stage))
+        domain = stage.statement.domain
+        spatial_extent = domain.extent(spatial)
+        sample_outer = categories["parallel"][0]
+        sample_outer_extent = domain.extent(sample_outer)
+        cpu_outer = _largest_parallel(stage, categories, exclude=(spatial,))
+        return cls(
+            computation=computation,
+            platform=platform,
+            categories=categories,
+            spatial=spatial,
+            spatial_extent=spatial_extent,
+            sample_outer=sample_outer,
+            sample_outer_extent=sample_outer_extent,
+            cpu_outer=cpu_outer,
+            cpu_outer_extent=domain.extent(cpu_outer),
+            gpu_others=sorted((n for n in categories["parallel"] if n != spatial),
+                              key=lambda name: domain.extent(name), reverse=True),
+            reduction_set=frozenset(categories["reduction"]),
+            spatial_options=[d for d in divisors(spatial_extent) if d <= 64],
+            channel_options=[d for d in divisors(sample_outer_extent) if d <= 32],
+            unroll_options=[1, 2, 4, 8],
+            thread_options=[d for d in divisors(spatial_extent * sample_outer_extent)
+                            if d <= platform.vector_width * 8],
+            spatial_divisors=divisors(spatial_extent),
+        )
+
+    # ------------------------------------------------------------------
+    # Sampling (same RNG stream as sample_parameters)
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> ScheduleParameters:
+        """Sample template parameters from the precomputed divisor tables.
+
+        ``options[rng.integers(0, len(options))]`` consumes the generator
+        exactly like ``rng.choice(options)`` (a uniform replace=True choice
+        is one bounded-integer draw) at a fraction of the cost, so the
+        stream stays identical to :func:`sample_parameters` — which the
+        golden tests pin.
+        """
+        def pick(options: list[int]) -> int:
+            return options[int(rng.integers(0, len(options)))] if options else 1
+
+        return ScheduleParameters(
+            spatial_tile=pick(self.spatial_options),
+            channel_tile=pick(self.channel_options),
+            unroll=pick(self.unroll_options),
+            threads=pick(self.thread_options),
+            use_vthread=bool(rng.random() < 0.5),
+        )
+
+    # ------------------------------------------------------------------
+    # Schedule identity (for per-run deduplication)
+    # ------------------------------------------------------------------
+    def _effective_unroll(self, params: ScheduleParameters) -> int:
+        return params.unroll if (params.unroll > 1 and self.reduction_set) else 1
+
+    def _cpu_split_factors(self, params: ScheduleParameters) -> tuple[int, int]:
+        spatial_factor = (params.spatial_tile
+                          if params.spatial_tile > 1
+                          and self.spatial_extent % params.spatial_tile == 0 else 1)
+        outer_factor = (params.channel_tile
+                        if self.cpu_outer != self.spatial and params.channel_tile > 1
+                        and self.cpu_outer_extent % params.channel_tile == 0 else 1)
+        return spatial_factor, outer_factor
+
+    def _gpu_thread_factor(self, params: ScheduleParameters) -> int:
+        thread_extent = min(params.threads, self.platform.vector_width * 8)
+        factor = 1
+        for candidate in self.spatial_divisors:
+            if candidate <= thread_extent:
+                factor = candidate
+        return factor
+
+    def schedule_key(self, params: ScheduleParameters) -> tuple:
+        """The parameter values that actually shape the schedule.
+
+        Two sampled :class:`ScheduleParameters` with equal keys
+        instantiate identical schedules (e.g. ``threads`` is ignored by
+        the CPU template), so one evaluation serves every repeat.
+        """
+        if self.platform.is_gpu:
+            return ("gpu", self._gpu_thread_factor(params), params.use_vthread,
+                    self._effective_unroll(params))
+        return ("cpu", *self._cpu_split_factors(params), self._effective_unroll(params))
+
+    # ------------------------------------------------------------------
+    # Instantiation (cached structural state + cheap annotation clones)
+    # ------------------------------------------------------------------
+    def _last_reduction(self, stage: Stage) -> str:
+        return next(n for n in reversed(stage.loop_order) if n in self.reduction_set)
+
+    def _cpu_spatial_split(self, spatial_factor: int) -> tuple[Stage, str]:
+        """First structural level: only the spatial split applied.
+
+        Cached separately from the full structural stage so the outer
+        splits fan out from a clone instead of replaying the spatial
+        split for every (spatial, outer) pair.
+        """
+        key = ("cpu-spatial", spatial_factor)
+        cached = self._structural.get(key)
+        if cached is None:
+            stage = create_schedule(self.computation)
+            spatial_inner = self.spatial
+            if spatial_factor > 1:
+                _, spatial_inner = stage.split(self.spatial, spatial_factor)
+            cached = (stage, spatial_inner)
+            self._structural[key] = cached
+        return cached
+
+    def _cpu_structural(self, spatial_factor: int, outer_factor: int) -> Stage:
+        key = ("cpu", spatial_factor, outer_factor)
+        cached = self._structural.get(key)
+        if cached is None:
+            base, spatial_inner = self._cpu_spatial_split(spatial_factor)
+            stage = base.clone()
+            outer_name = self.cpu_outer
+            if outer_factor > 1:
+                outer_name, _ = stage.split(self.cpu_outer, outer_factor)
+            remaining = [n for n in stage.loop_order if n not in (outer_name, spatial_inner)]
+            stage.reorder(outer_name, *remaining, spatial_inner)
+            stage.parallel(outer_name)
+            stage.vectorize(spatial_inner)
+            cached = stage
+            self._structural[key] = cached
+        return cached
+
+    def _gpu_structural(self, factor: int) -> tuple[Stage, str, str | None]:
+        key = ("gpu", factor)
+        cached = self._structural.get(key)
+        if cached is None:
+            stage = create_schedule(self.computation)
+            thread_axis = self.spatial
+            block_axis_spatial = None
+            if 1 < factor < self.spatial_extent:
+                block_axis_spatial, thread_axis = stage.split(self.spatial, factor)
+            stage.bind(thread_axis, "threadIdx.x")
+            if self.gpu_others:
+                stage.bind(self.gpu_others[0], "blockIdx.x")
+                if len(self.gpu_others) > 1:
+                    stage.bind(self.gpu_others[1], "blockIdx.y")
+            cached = (stage, thread_axis, block_axis_spatial)
+            self._structural[key] = cached
+        return cached
+
+    def instantiate(self, params: ScheduleParameters) -> Stage:
+        """Instantiate the platform template for ``params``.
+
+        Equivalent to :func:`default_schedule` on this context's
+        computation and platform, but reusing the cached structural state.
+        """
+        if self.platform.is_gpu:
+            return self._instantiate_gpu(params)
+        return self._instantiate_cpu(params)
+
+    def _instantiate_cpu(self, params: ScheduleParameters) -> Stage:
+        spatial_factor, outer_factor = self._cpu_split_factors(params)
+        stage = self._cpu_structural(spatial_factor, outer_factor).clone()
+        if params.unroll > 1 and self.reduction_set:
+            stage.unroll(self._last_reduction(stage), params.unroll)
+        return stage
+
+    def _instantiate_gpu(self, params: ScheduleParameters) -> Stage:
+        factor = self._gpu_thread_factor(params)
+        base, thread_axis, block_axis_spatial = self._gpu_structural(factor)
+        stage = base.clone()
+        if block_axis_spatial is not None:
+            if params.use_vthread:
+                stage.bind(block_axis_spatial, "vthread")
+            elif len(self.gpu_others) < 2:
+                stage.bind(block_axis_spatial, "blockIdx.y")
+        if params.unroll > 1 and self.reduction_set:
+            stage.unroll(self._last_reduction(stage), params.unroll)
+        stage.prefetch(thread_axis)
+        return stage
+
+    # ------------------------------------------------------------------
+    # Lowering with cached structural analysis
+    # ------------------------------------------------------------------
+    def lowered(self, stage: Stage) -> LoweredNest:
+        """Lower ``stage``, reusing cached access analysis per statement.
+
+        Clones produced by :meth:`instantiate` share their (immutable)
+        statement with the cached structural stage, so the layout analysis
+        — the expensive half of :func:`~repro.tenir.lower.lower` — runs
+        once per distinct structure, keyed by statement identity.  Each
+        cache entry pins its statement, so an identity key can never be
+        recycled while the entry exists.
+        """
+        statement = stage.statement
+        cached = self._lowered.get(id(statement))
+        if cached is None:
+            cached = (statement, analyse_accesses(statement),
+                      statement.domain.cardinality(), {})
+            self._lowered[id(statement)] = cached
+        _, accesses, macs, shared = cached
+        nest = lower(stage, accesses=accesses, macs=macs)
+        # The traffic arrays depend only on the statement (loop extents and
+        # accesses), never on annotations, so every annotation variant of
+        # one structure shares a single build.
+        arrays = shared.get("traffic")
+        if arrays is None:
+            shared["traffic"] = nest.traffic_arrays()
+        else:
+            object.__setattr__(nest, "_traffic_arrays", arrays)
+        return nest
+
+
+# ---------------------------------------------------------------------------
 # The tuner
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -210,6 +483,37 @@ def _tune_task(args: tuple[int, int | None, Computation, PlatformSpec]) -> Tunin
     return AutoTuner(trials=trials, seed=seed).tune(computation, platform)
 
 
+def reference_tune(computation: Computation, platform: PlatformSpec,
+                   trials: int = 16, seed: int | None = None) -> TuningResult:
+    """The pre-fast-path tuning loop, kept verbatim as the golden reference.
+
+    Rebuilds the schedule, re-classifies loops, re-lowers and runs the
+    scalar cost model from scratch on every trial — exactly what
+    :meth:`AutoTuner.tune` did before the :class:`TuningContext` fast
+    path.  The equivalence tests and the throughput benchmark compare the
+    fast path against this function; it is not meant for production use.
+    """
+    if trials < 1:
+        raise ScheduleError("the tuner needs at least one trial")
+    rng = make_rng(seed)
+    best: TuningResult | None = None
+    for trial in range(trials):
+        params = (ScheduleParameters() if trial == 0
+                  else sample_parameters(computation, platform, rng))
+        try:
+            stage = default_schedule(computation, platform, params)
+        except ScheduleError:
+            continue
+        nest = lower(stage)
+        estimate = estimate_latency(nest, platform)
+        candidate = TuningResult(stage, nest, estimate, params, trials)
+        if best is None or candidate.seconds < best.seconds:
+            best = candidate
+    if best is None:
+        raise ScheduleError("auto-tuning failed to produce a single valid schedule")
+    return best
+
+
 class AutoTuner:
     """Random search over schedule-template parameters."""
 
@@ -219,20 +523,51 @@ class AutoTuner:
         self.trials = trials
         self.seed = seed
 
-    def tune(self, computation: Computation, platform: PlatformSpec) -> TuningResult:
-        """Return the best schedule found for ``computation`` on ``platform``."""
+    def tune(self, computation: Computation, platform: PlatformSpec,
+             context: TuningContext | None = None) -> TuningResult:
+        """Return the best schedule found for ``computation`` on ``platform``.
+
+        The fast path: template analysis happens once in the
+        :class:`TuningContext`, trials mapping to the same
+        :meth:`~TuningContext.schedule_key` are instantiated and scored
+        once, and the surviving candidates go through the vectorised
+        batch cost model.  Results are bit-identical to
+        :func:`reference_tune` (the pre-fast-path loop) for any seed.
+        """
         rng = make_rng(self.seed)
-        best: TuningResult | None = None
-        for trial in range(self.trials):
-            params = (ScheduleParameters() if trial == 0
-                      else sample_parameters(computation, platform, rng))
-            try:
-                stage = default_schedule(computation, platform, params)
-            except ScheduleError:
+        if context is None:
+            context = TuningContext.build(computation, platform)
+        elif context.computation != computation or context.platform != platform:
+            raise ScheduleError(
+                "the supplied TuningContext was built for a different "
+                "(computation, platform) pair")
+        trial_params = [ScheduleParameters() if trial == 0 else context.sample(rng)
+                        for trial in range(self.trials)]
+
+        staged: dict[tuple, tuple[Stage, LoweredNest, ScheduleParameters]] = {}
+        invalid: set[tuple] = set()
+        for params in trial_params:
+            key = context.schedule_key(params)
+            if key in staged or key in invalid:
                 continue
-            nest = lower(stage)
-            estimate = estimate_latency(nest, platform)
-            candidate = TuningResult(stage, nest, estimate, params, self.trials)
+            try:
+                stage = context.instantiate(params)
+            except ScheduleError:
+                invalid.add(key)
+                continue
+            staged[key] = (stage, context.lowered(stage), params)
+
+        estimates = estimate_latency_batch(
+            [nest for _, nest, _ in staged.values()], platform)
+        results = {key: TuningResult(stage, nest, estimate, params, self.trials)
+                   for (key, (stage, nest, params)), estimate
+                   in zip(staged.items(), estimates)}
+
+        best: TuningResult | None = None
+        for params in trial_params:
+            candidate = results.get(context.schedule_key(params))
+            if candidate is None:
+                continue
             if best is None or candidate.seconds < best.seconds:
                 best = candidate
         if best is None:

@@ -15,9 +15,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import LoweringError
 from repro.poly.affine import AffineMap
-from repro.poly.statement import Access
+from repro.poly.statement import Access, Statement
 from repro.tenir.schedule import LoopAnnotation, Stage
 from repro.utils import prod
 
@@ -64,6 +66,115 @@ class LoweredAccess:
 
 
 @dataclass(frozen=True)
+class NestTrafficArrays:
+    """Locality quantities of one nest packed into numpy arrays.
+
+    Everything the traffic model asks per (start-depth, access) is
+    precomputed in one vectorised pass: with ``L`` loops and ``A``
+    accesses, row ``d`` of each ``(L + 1, A)`` array describes the
+    sub-nest whose outermost loop sits at depth ``d`` (row ``L`` is the
+    innermost point where no iterator varies).  All entries are exact
+    integers stored as float64, so the vectorised arithmetic built on
+    them reproduces the scalar model bit for bit.
+    """
+
+    #: distinct elements touched by each access while depth ``d``.. vary
+    footprints: np.ndarray
+    #: per access: the max footprint over all accesses of the same tensor
+    tensor_footprints: np.ndarray
+    #: per depth: summed unique-tensor footprint in bytes (the working set)
+    working_set_bytes: np.ndarray
+    #: per (reuse depth, access): trip count of outer loops forcing refetches
+    refetch: np.ndarray
+    #: per access: compulsory traffic floor (whole tensor once), in bytes
+    compulsory_bytes: np.ndarray
+    #: per access: 2.0 for writes (write-allocate + write-back), else 1.0
+    write_factor: np.ndarray
+
+
+def _build_traffic_arrays(nest: "LoweredNest") -> NestTrafficArrays:
+    loops = len(nest.loops)
+    depths = loops + 1
+    count = len(nest.accesses)
+    extents = np.array([loop.extent for loop in nest.loops], dtype=np.float64)
+    positions = {loop.name: index for index, loop in enumerate(nest.loops)}
+    max_dims = max((len(a.dim_extents) for a in nest.accesses), default=0)
+
+    # One padded (access, dim, loop) tensor; padded dims get a unit cap and
+    # zero contributions, so their span is exactly 1 and drops out of the
+    # footprint product.  Filled as nested Python lists — element-wise
+    # numpy stores would dominate at these tiny sizes.
+    contrib_rows: list[list[list[float]]] = []
+    caps_rows: list[list[float]] = []
+    affects_rows: list[list[bool]] = []
+    pad_dim = [0.0] * loops
+    for access in nest.accesses:
+        rows = []
+        caps = []
+        affect = [False] * loops
+        for dim, coeffs in enumerate(access.dim_coefficients):
+            row = pad_dim.copy()
+            caps.append(float(access.dim_extents[dim]))
+            for name, (coeff, extent) in coeffs.items():
+                position = positions.get(name)
+                if position is not None:
+                    row[position] = abs(coeff) * (extent - 1)
+                    affect[position] = True
+            rows.append(row)
+        while len(rows) < max_dims:
+            rows.append(pad_dim)
+            caps.append(1.0)
+        for name, stride in access.iterator_strides.items():
+            position = positions.get(name)
+            if position is not None and stride != 0:
+                affect[position] = True
+        contrib_rows.append(rows)
+        caps_rows.append(caps)
+        affects_rows.append(affect)
+    contrib = np.array(contrib_rows, dtype=np.float64).reshape(count, max_dims, loops)
+    dim_caps = np.array(caps_rows, dtype=np.float64).reshape(count, max_dims)
+    affects = np.array(affects_rows, dtype=bool).reshape(count, loops)
+
+    # span at start-depth d: 1 + sum of contributions of loops >= d
+    suffix = np.zeros((count, max_dims, depths), dtype=np.float64)
+    if loops:
+        suffix[:, :, :loops] = np.cumsum(contrib[:, :, ::-1], axis=2)[:, :, ::-1]
+    spans = np.minimum(1.0 + suffix, dim_caps[:, :, None])
+    footprints = np.prod(spans, axis=1).T  # (depths, accesses)
+
+    # outer loops whose advance changes each access's working set
+    steps = np.where(affects, extents[None, :], 1.0)
+    refetch = np.empty((count, depths), dtype=np.float64)
+    refetch[:, 0] = 1.0
+    if loops:
+        refetch[:, 1:] = np.cumprod(steps, axis=1)
+    refetch = refetch.T
+
+    tensor_footprints = np.empty_like(footprints)
+    grouped: dict[str, list[int]] = {}
+    for index, access in enumerate(nest.accesses):
+        grouped.setdefault(access.tensor, []).append(index)
+    working_set = np.zeros(depths, dtype=np.float64)
+    for indices in grouped.values():
+        tensor_max = footprints[:, indices].max(axis=1)
+        tensor_footprints[:, indices] = tensor_max[:, None]
+        working_set += tensor_max
+
+    return NestTrafficArrays(
+        footprints=footprints,
+        tensor_footprints=tensor_footprints,
+        working_set_bytes=working_set * nest.element_bytes,
+        refetch=refetch,
+        compulsory_bytes=np.array(
+            [access.total_elements * nest.element_bytes for access in nest.accesses],
+            dtype=np.float64),
+        write_factor=np.array(
+            [2.0 if access.is_write else 1.0 for access in nest.accesses],
+            dtype=np.float64),
+    )
+
+
+@dataclass(frozen=True)
 class LoweredNest:
     """A fully lowered, scheduled loop nest ready for cost estimation."""
 
@@ -92,14 +203,31 @@ class LoweredNest:
         """Iterator names at ``depth`` and deeper (0 = outermost)."""
         return {loop.name for loop in self.loops[depth:]}
 
+    def traffic_arrays(self) -> NestTrafficArrays:
+        """The vectorised locality arrays, computed once per nest.
+
+        The cache lives outside the dataclass fields (it is derived state,
+        not identity) and is dropped on pickling so executor transfers stay
+        small.
+        """
+        cached = self.__dict__.get("_traffic_arrays")
+        if cached is None:
+            cached = _build_traffic_arrays(self)
+            object.__setattr__(self, "_traffic_arrays", cached)
+        return cached
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_traffic_arrays", None)
+        return state
+
     def footprint_bytes(self, depth: int) -> int:
-        """Total data footprint (bytes) of the sub-nest starting at ``depth``."""
-        varying = self.varying_iterators_from(depth)
-        unique_tensors: dict[str, int] = {}
-        for access in self.accesses:
-            footprint = access.footprint(varying)
-            unique_tensors[access.tensor] = max(unique_tensors.get(access.tensor, 0), footprint)
-        return sum(unique_tensors.values()) * self.element_bytes
+        """Total data footprint (bytes) of the sub-nest starting at ``depth``.
+
+        Memoised per depth through :meth:`traffic_arrays`; the entries are
+        exact integers, so the conversion back to ``int`` is lossless.
+        """
+        return int(self.traffic_arrays().working_set_bytes[depth])
 
     def total_data_bytes(self) -> int:
         """Unique bytes touched by the whole nest (compulsory traffic)."""
@@ -120,8 +248,7 @@ def _analyse_access(access: Access, domain_extents: dict[str, int]) -> LoweredAc
     for expr in access.map.exprs:
         span = 1 + expr.const
         coeffs: dict[str, tuple[int, int]] = {}
-        for name in expr.variables:
-            coeff = expr.coeff(name)
+        for name, coeff in expr.coeffs:
             extent = domain_extents[name]
             coeffs[name] = (coeff, extent)
             span += abs(coeff) * (extent - 1)
@@ -147,14 +274,14 @@ def _analyse_access(access: Access, domain_extents: dict[str, int]) -> LoweredAc
     )
 
 
-def lower(stage: Stage) -> LoweredNest:
-    """Lower a scheduled stage to an explicit nest description."""
-    statement = stage.statement
+def analyse_accesses(statement: Statement) -> tuple[LoweredAccess, ...]:
+    """Layout analysis of a statement's distinct tensor accesses.
+
+    This is the structural (annotation-independent) half of :func:`lower`;
+    the tuner's fast path caches it per scheduled statement so re-lowering
+    a nest that differs only in loop annotations costs nothing.
+    """
     domain_extents = {it.name: it.extent for it in statement.domain.iterators}
-    loops = tuple(
-        LoweredLoop(it.name, it.extent, stage.annotations.get(it.name, LoopAnnotation()))
-        for it in statement.domain.iterators
-    )
     seen: set[tuple[str, bool, str]] = set()
     accesses: list[LoweredAccess] = []
     for access in statement.accesses:
@@ -163,11 +290,27 @@ def lower(stage: Stage) -> LoweredNest:
             continue
         seen.add(key)
         accesses.append(_analyse_access(access, domain_extents))
+    return tuple(accesses)
+
+
+def lower(stage: Stage, *, accesses: tuple[LoweredAccess, ...] | None = None,
+          macs: int | None = None) -> LoweredNest:
+    """Lower a scheduled stage to an explicit nest description.
+
+    ``accesses``/``macs`` accept precomputed structural analysis (from
+    :func:`analyse_accesses` on the same statement) so callers lowering
+    many annotation variants of one structure skip the repeated work.
+    """
+    statement = stage.statement
+    loops = tuple(
+        LoweredLoop(it.name, it.extent, stage.annotations.get(it.name, LoopAnnotation()))
+        for it in statement.domain.iterators
+    )
     return LoweredNest(
         name=stage.computation.name,
         loops=loops,
-        accesses=tuple(accesses),
-        macs=statement.domain.cardinality(),
+        accesses=analyse_accesses(statement) if accesses is None else accesses,
+        macs=statement.domain.cardinality() if macs is None else macs,
         element_bytes=stage.computation.element_bytes,
         history=tuple(stage.history),
     )

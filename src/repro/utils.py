@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -27,17 +28,26 @@ def prod(values: Iterable[int]) -> int:
     return result
 
 
-def divisors(n: int) -> list[int]:
-    """Return the sorted list of positive divisors of ``n``."""
-    if n <= 0:
-        raise ValueError(f"divisors() requires a positive integer, got {n}")
+@lru_cache(maxsize=None)
+def _divisors(n: int) -> tuple[int, ...]:
+    """Memoised divisor enumeration; searches ask for the same extents
+    thousands of times, so the factorisation is done once per value."""
     small, large = [], []
     for candidate in range(1, int(math.isqrt(n)) + 1):
         if n % candidate == 0:
             small.append(candidate)
             if candidate != n // candidate:
                 large.append(n // candidate)
-    return small + large[::-1]
+    return tuple(small + large[::-1])
+
+
+def divisors(n: int) -> list[int]:
+    """Return the sorted list of positive divisors of ``n``."""
+    if n <= 0:
+        raise ValueError(f"divisors() requires a positive integer, got {n}")
+    # A fresh list per call: callers are free to mutate the result without
+    # corrupting the cache behind everyone else's back.
+    return list(_divisors(n))
 
 
 def ceil_div(a: int, b: int) -> int:

@@ -1,0 +1,269 @@
+"""Tests for the tuning fast path: context, batch cost model, engine pool.
+
+The contract under test is *bit-identical results, much less work*:
+
+* ``estimate_latency_batch`` must equal ``estimate_latency`` exactly on
+  arbitrary lowered nests (the scalar path is the reference);
+* ``AutoTuner.tune`` must return the same ``TuningResult.seconds`` (and
+  parameters, and nest) as ``reference_tune`` — the pre-fast-path loop
+  kept verbatim — for any seed, while instantiating far fewer schedules;
+* the engine's persistent pool and incremental ``save_cache`` change no
+  observable latency, only the wall clock and the write traffic.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import SequenceSpec
+from repro.core.engine import EvaluationEngine
+from repro.hardware import estimate_latency, estimate_latency_batch, get_platform
+from repro.hardware.measure import measure_network
+from repro.poly.statement import ConvolutionShape
+from repro.tenir import (
+    AutoTuner,
+    TuningContext,
+    conv2d_compute,
+    default_schedule,
+    dense_compute,
+    lower,
+    naive_schedule,
+    reference_tune,
+    sample_parameters,
+)
+from repro.utils import divisors, make_rng
+
+PLATFORMS = ("cpu", "gpu", "mcpu", "mgpu")
+
+SHAPES = [
+    ConvolutionShape(8, 8, 6, 6, 3, 3),
+    ConvolutionShape(64, 64, 16, 16, 3, 3),
+    ConvolutionShape(16, 32, 8, 8, 1, 1),
+    ConvolutionShape(32, 32, 14, 14, 5, 5),
+    ConvolutionShape(12, 24, 10, 10, 3, 3),
+]
+
+
+def _random_nests(platform, count: int = 24, seed: int = 0):
+    """Random scheduled-and-lowered nests: naive, tuned-template and dense."""
+    rng = make_rng(seed)
+    nests = [lower(naive_schedule(dense_compute(32, 10, 64)))]
+    for shape in SHAPES:
+        computation = conv2d_compute(shape)
+        nests.append(lower(naive_schedule(computation)))
+        while len(nests) < count and len(nests) % len(SHAPES) != 0:
+            params = sample_parameters(computation, platform, rng)
+            nests.append(lower(default_schedule(computation, platform, params)))
+    return nests[:count]
+
+
+class TestBatchCostModelEquivalence:
+    @pytest.mark.parametrize("platform_name", PLATFORMS)
+    def test_batch_matches_scalar_exactly(self, platform_name):
+        """Property-style: random nests, every estimate field bit-identical."""
+        platform = get_platform(platform_name)
+        for seed in (0, 1, 2):
+            nests = _random_nests(platform, seed=seed)
+            batch = estimate_latency_batch(nests, platform)
+            assert len(batch) == len(nests)
+            for nest, batched in zip(nests, batch):
+                scalar = estimate_latency(nest, platform)
+                # Frozen-dataclass equality covers every field, including
+                # the seconds, the traffic and the quality factors.
+                assert batched == scalar
+
+    def test_empty_batch(self):
+        assert estimate_latency_batch([], get_platform("cpu")) == []
+
+    def test_footprint_bytes_matches_python_reference(self):
+        """The memoised per-depth footprint table equals the direct loop."""
+        platform = get_platform("cpu")
+        for nest in _random_nests(platform, count=8):
+            for depth in range(len(nest.loops) + 1):
+                varying = nest.varying_iterators_from(depth)
+                unique: dict[str, int] = {}
+                for access in nest.accesses:
+                    footprint = access.footprint(varying)
+                    unique[access.tensor] = max(unique.get(access.tensor, 0), footprint)
+                expected = sum(unique.values()) * nest.element_bytes
+                assert nest.footprint_bytes(depth) == expected
+
+    def test_traffic_arrays_dropped_on_pickle(self):
+        nest = _random_nests(get_platform("cpu"), count=2)[1]
+        nest.traffic_arrays()
+        clone = pickle.loads(pickle.dumps(nest))
+        assert clone == nest
+        assert "_traffic_arrays" not in clone.__dict__
+
+    def test_measure_network_matches_scalar_sum(self):
+        platform = get_platform("cpu")
+        nests = _random_nests(platform, count=6)
+        measured = measure_network(nests, platform)
+        assert measured.layer_seconds() == [
+            estimate_latency(nest, platform).seconds for nest in nests]
+
+
+class TestTunerFastPath:
+    @pytest.mark.parametrize("platform_name", PLATFORMS)
+    def test_seed_pinned_equivalence_with_reference(self, platform_name):
+        """The fast path returns the legacy tuner's exact results."""
+        platform = get_platform(platform_name)
+        for shape in SHAPES[:3]:
+            computation = conv2d_compute(shape)
+            for trials, seed in ((1, 0), (8, 0), (24, 1), (24, None)):
+                fast = AutoTuner(trials=trials, seed=seed).tune(computation, platform)
+                reference = reference_tune(computation, platform,
+                                           trials=trials, seed=seed)
+                assert fast.seconds == reference.seconds
+                assert fast.parameters == reference.parameters
+                assert fast.nest == reference.nest
+                assert fast.estimate == reference.estimate
+
+    @pytest.mark.parametrize("platform_name", ("cpu", "gpu"))
+    def test_context_sampling_matches_legacy_stream(self, platform_name):
+        """TuningContext.sample consumes the RNG exactly like sample_parameters."""
+        platform = get_platform(platform_name)
+        computation = conv2d_compute(SHAPES[1])
+        context = TuningContext.build(computation, platform)
+        rng_fast, rng_legacy = make_rng(3), make_rng(3)
+        for _ in range(50):
+            assert context.sample(rng_fast) == sample_parameters(
+                computation, platform, rng_legacy)
+        # Both generators end in the same state.
+        assert rng_fast.random() == rng_legacy.random()
+
+    def test_duplicate_parameters_instantiated_once(self, monkeypatch):
+        """Trials mapping to one schedule key share a single instantiation."""
+        platform = get_platform("cpu")
+        computation = conv2d_compute(ConvolutionShape(8, 8, 4, 4, 3, 3))
+        calls = {"count": 0}
+        original = TuningContext.instantiate
+
+        def counted(self, params):
+            calls["count"] += 1
+            return original(self, params)
+
+        monkeypatch.setattr(TuningContext, "instantiate", counted)
+        trials = 64
+        AutoTuner(trials=trials, seed=0).tune(computation, platform)
+        assert 0 < calls["count"] < trials, (
+            "the small parameter space must dedupe most of the 64 trials")
+
+    def test_tune_many_modes_bit_identical(self):
+        computations = [conv2d_compute(shape) for shape in SHAPES[:4]]
+        platform = get_platform("cpu")
+        tuner = AutoTuner(trials=6, seed=0)
+        serial = [r.seconds for r in tuner.tune_many(computations, platform)]
+        threaded = [r.seconds for r in
+                    tuner.tune_many(computations, platform, parallel="thread")]
+        forked = [r.seconds for r in
+                  tuner.tune_many(computations, platform, parallel="process",
+                                  max_workers=2)]
+        assert serial == threaded == forked
+
+
+class TestEngineFastPath:
+    def test_duplicate_missing_requests_count_as_misses(self):
+        """Per-request accounting against the pre-call cache state."""
+        engine = EvaluationEngine(get_platform("cpu"), tuner_trials=2, seed=0)
+        shape = ConvolutionShape(8, 8, 6, 6, 3, 3)
+        standard = SequenceSpec(kind="standard")
+        engine.tune_many([(shape, standard), (shape, standard)])
+        assert engine.statistics.latency_misses == 2
+        assert engine.statistics.latency_hits == 0
+        # A repeat of the same batch is now all hits.
+        engine.tune_many([(shape, standard), (shape, standard)])
+        assert engine.statistics.latency_misses == 2
+        assert engine.statistics.latency_hits == 2
+
+    def test_cached_latency_reads_do_not_double_count(self):
+        """Strategy read-backs after a batched submission leave stats alone."""
+        engine = EvaluationEngine(get_platform("cpu"), tuner_trials=2, seed=0)
+        shape = ConvolutionShape(8, 8, 6, 6, 3, 3)
+        standard = SequenceSpec(kind="standard")
+        tuned = engine.tune_many([(shape, standard)])
+        before = (engine.statistics.latency_hits, engine.statistics.latency_misses)
+        assert engine.cached_latency(shape, standard) == tuned[0]
+        assert (engine.statistics.latency_hits,
+                engine.statistics.latency_misses) == before
+        # A genuine miss falls back to the counting (and tuning) path.
+        grouped = SequenceSpec(kind="group", group=2)
+        assert engine.cached_latency(shape, grouped) > 0
+        assert engine.statistics.latency_misses == before[1] + 1
+
+    def test_persistent_pool_reused_and_closed(self):
+        shapes = SHAPES[:3]
+        standard = SequenceSpec(kind="standard")
+        grouped = SequenceSpec(kind="group", group=2)
+        with EvaluationEngine(get_platform("cpu"), tuner_trials=2, seed=0) as engine:
+            engine.tune_many([(s, standard) for s in shapes], parallel="thread",
+                             max_workers=2)
+            first = engine._pools.get(("thread", 2))
+            assert first is not None
+            engine.tune_many([(s, grouped) for s in shapes], parallel="thread",
+                             max_workers=2)
+            assert engine._pools.get(("thread", 2)) is first, (
+                "the executor must be reused across tune_many calls")
+        assert engine._pools == {}
+        # close() is idempotent and a closed engine still works (serially
+        # or by recreating a pool on demand).
+        engine.close()
+        extra = engine.tune_many([(ConvolutionShape(8, 8, 4, 4, 3, 3), standard)])
+        assert extra[0] > 0
+
+    def test_parallel_modes_identical_through_persistent_pool(self):
+        items = [(shape, SequenceSpec(kind="standard")) for shape in SHAPES[:4]]
+        platform = get_platform("cpu")
+        reference = EvaluationEngine(platform, tuner_trials=3, seed=0).tune_many(items)
+        for mode in ("thread", "process"):
+            with EvaluationEngine(platform, tuner_trials=3, seed=0) as engine:
+                # Two batches through the same persistent pool.
+                half = len(items) // 2
+                first = engine.tune_many(items[:half], parallel=mode, max_workers=2)
+                second = engine.tune_many(items[half:], parallel=mode, max_workers=2)
+                assert first + second == reference
+
+    def test_save_cache_skips_clean_rewrites(self, tmp_path):
+        path = tmp_path / "latency.pkl"
+        engine = EvaluationEngine(get_platform("cpu"), tuner_trials=2, seed=0,
+                                  cache_path=path)
+        shape = ConvolutionShape(8, 8, 6, 6, 3, 3)
+        engine.tuned_latency(shape, SequenceSpec(kind="standard"))
+        engine.save_cache()
+        # Clobber the file out-of-band: a clean engine must NOT rewrite it.
+        path.write_bytes(b"sentinel")
+        assert engine.save_cache() == path
+        assert path.read_bytes() == b"sentinel"
+        # A new entry dirties the cache and the next save really writes.
+        engine.tuned_latency(shape, SequenceSpec(kind="group", group=2))
+        engine.save_cache()
+        assert path.read_bytes() != b"sentinel"
+        warm = EvaluationEngine(get_platform("cpu"), tuner_trials=2, seed=0,
+                                cache_path=path)
+        assert warm.statistics.loaded_entries == 2
+        # The constructor load syncs the store: saving straight back to the
+        # same path is also a no-op.
+        path.write_bytes(b"sentinel")
+        warm.save_cache()
+        assert path.read_bytes() == b"sentinel"
+        # An explicit different target still writes.
+        other = tmp_path / "other.pkl"
+        warm.save_cache(other)
+        assert other.exists()
+
+
+class TestDivisorsMemoisation:
+    def test_results_are_fresh_lists(self):
+        first = divisors(360)
+        first.append(-1)
+        assert divisors(360) == [1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 18, 20, 24,
+                                 30, 36, 40, 45, 60, 72, 90, 120, 180, 360]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+        with pytest.raises(ValueError):
+            divisors(-4)
