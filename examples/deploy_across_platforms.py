@@ -3,7 +3,9 @@
 This is the workload the paper's introduction motivates: the same trained
 network must be deployed on a server CPU, a server GPU, a mobile CPU and a
 mobile GPU, and the right combination of neural and program transformations
-differs per target.  The script mirrors one row of Figure 4.
+differs per target.  The study itself is the registered ``deploy``
+experiment (``python -m repro run deploy``); this script just picks the
+network and prints the report.
 
 Run with:  python examples/deploy_across_platforms.py [resnet|resnext|densenet]
 """
@@ -12,42 +14,18 @@ from __future__ import annotations
 
 import sys
 
-from repro.core import PipelineScale, compare_approaches
-from repro.data import SyntheticImageDataset
-from repro.models import densenet161, resnet34, resnext29_2x64d
+from repro.experiments import deploy_study
 
-BUILDERS = {
-    "resnet": ("ResNet-34", lambda width: resnet34(width_multiplier=width)),
-    "resnext": ("ResNeXt-29-2x64d", lambda width: resnext29_2x64d(width_multiplier=width)),
-    "densenet": ("DenseNet-161",
-                 lambda width: densenet161(width_multiplier=width, depth_multiplier=0.5)),
+NETWORKS = {
+    "resnet": "ResNet-34",
+    "resnext": "ResNeXt-29-2x64d",
+    "densenet": "DenseNet-161",
 }
 
 
 def main(network_key: str = "resnet") -> None:
-    name, builder = BUILDERS[network_key]
-    scale = PipelineScale(width_multiplier=0.25, image_size=16, fisher_batch=4,
-                          configurations=60, tuner_trials=4, train_size=64, test_size=32)
-    dataset = SyntheticImageDataset.cifar10_like(
-        train_size=scale.train_size, test_size=scale.test_size,
-        image_size=scale.image_size, seed=0)
-
-    print(f"network: {name}\n")
-    print(f"{'platform':8s} {'TVM (ms)':>10s} {'NAS x':>7s} {'Ours x':>7s} "
-          f"{'rejected':>9s} {'chosen sequences'}")
-    for platform in ("cpu", "gpu", "mcpu", "mgpu"):
-        result = compare_approaches(name, lambda: builder(scale.width_multiplier),
-                                    platform, scale=scale, dataset=dataset, seed=0)
-        speedups = result.speedups()
-        frequency = result.search_result.sequence_frequency()
-        top = ", ".join(f"{kind}x{count}" for kind, count in frequency.most_common(3))
-        print(f"{platform:8s} {result.tvm.latency_ms:10.2f} {speedups['NAS']:7.2f} "
-              f"{speedups['Ours']:7.2f} "
-              f"{100 * result.search_result.statistics.rejection_rate:8.0f}% {top}")
-
-    print("\nSpeedups are relative to the TVM-default-schedule baseline; the right")
-    print("transformation mix differs per target, which is the point of unifying")
-    print("the two search spaces.")
+    result = deploy_study.run("ci", network=NETWORKS[network_key])
+    print(deploy_study.format_report(result))
 
 
 if __name__ == "__main__":

@@ -6,7 +6,8 @@ bottlenecking, the three best-performing case-study sequences — fall out of
 composing a handful of loop transformations.  This script builds each one
 on a single convolution layer, shows the transformed loop nest, verifies
 which classic transformations preserve the computed values, and estimates
-the latency of every derived operator on two platforms.
+the latency of every derived operator on two platforms through the façade's
+tuning entry point (one session, so every result is memoised and cached).
 
 Run with:  python examples/derive_new_convolutions.py
 """
@@ -15,8 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core import SequenceSpec, paper_sequences
-from repro.hardware import get_platform
+import repro
+from repro.core import paper_sequences
 from repro.poly import (
     Bottleneck,
     ConvolutionShape,
@@ -27,7 +28,6 @@ from repro.poly import (
     execute,
     execute_reference_convolution,
 )
-from repro.tenir import AutoTuner
 
 
 def show_classic_transformations() -> None:
@@ -54,32 +54,29 @@ def show_classic_transformations() -> None:
 def show_derived_operators() -> None:
     print("=== derived operators on a 64x64x16x16 3x3 convolution ===")
     shape = ConvolutionShape(64, 64, 16, 16, 3, 3)
-    cpu, mgpu = get_platform("cpu"), get_platform("mgpu")
-    tuner = AutoTuner(trials=8, seed=0)
 
-    specs = {"standard": SequenceSpec(kind="standard")}
-    specs.update(paper_sequences())
-    specs["input_bottleneck"] = SequenceSpec(kind="input_bottleneck", bottleneck=2)
-    specs["spatial_bottleneck"] = SequenceSpec(kind="spatial_bottleneck", spatial=2)
-    specs["depthwise"] = SequenceSpec(kind="depthwise")
+    programs = {"standard": repro.predefined_program("standard")}
+    programs.update(paper_sequences())
+    programs["input_bottleneck"] = repro.predefined_program("input_bottleneck", bottleneck=2)
+    programs["spatial_bottleneck"] = repro.predefined_program("spatial_bottleneck", spatial=2)
+    programs["depthwise"] = repro.predefined_program("depthwise")
 
-    baseline = {p.name: sum(tuner.tune(c, p).seconds
-                            for c in specs["standard"].build_computations(shape))
-                for p in (cpu, mgpu)}
-
-    print(f"{'operator':20s} {'transforms':45s} {'MAC red.':>9s} "
-          f"{'cpu x':>6s} {'mgpu x':>7s}")
-    for name, spec in specs.items():
-        if not spec.applicable(shape):
-            continue
-        reduction = spec.compute_reduction(shape)
-        row = [f"{name:20s}", f"{'->'.join(spec.primitive_names()) or '(none)':45s}",
-               f"{reduction:9.2f}"]
-        for platform in (cpu, mgpu):
-            seconds = sum(tuner.tune(c, platform).seconds
-                          for c in spec.build_computations(shape))
-            row.append(f"{baseline[platform.name] / seconds:6.2f}")
-        print(" ".join(row))
+    with repro.OptimizationSession(tuner_trials=8, seed=0) as session:
+        baseline = {platform: session.tune(shape, "standard", platform=platform).latency_seconds
+                    for platform in ("cpu", "mgpu")}
+        print(f"{'operator':20s} {'transforms':45s} {'MAC red.':>9s} "
+              f"{'cpu x':>6s} {'mgpu x':>7s}")
+        for name, program in programs.items():
+            if not program.applicable(shape):
+                continue
+            reduction = program.compute_reduction(shape)
+            row = [f"{name:20s}",
+                   f"{'->'.join(program.primitive_names()) or '(none)':45s}",
+                   f"{reduction:9.2f}"]
+            for platform in ("cpu", "mgpu"):
+                tuned = session.tune(shape, program, platform=platform)
+                row.append(f"{baseline[platform] / tuned.latency_seconds:6.2f}")
+            print(" ".join(row))
     print()
     print("Every operator above is produced by composing Table-1 primitives; the")
     print("legality of the neural ones is judged by Fisher Potential, not data")

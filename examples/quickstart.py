@@ -1,69 +1,14 @@
-"""Quickstart: optimise one network for one platform with the unified search.
+"""Quickstart: optimise ResNet-34 for a deployment target in one call.
 
-Runs the full pipeline of the paper on a scaled-down ResNet-34:
+The whole paper pipeline — Fisher profiling, the unified neural/program
+search, per-candidate auto-tuning — sits behind ``repro.optimize``.
 
-1. build the network and a CIFAR-10-shaped synthetic dataset;
-2. profile Fisher Potential on one random minibatch;
-3. search the unified space of program + neural transformations,
-   auto-tuning each candidate operator's schedule for the target platform;
-4. report the chosen transformation sequence per layer and the estimated
-   speedup over the TVM-style baseline, then materialise and briefly train
-   the optimised network to confirm accuracy is retained.
-
-Run with:  python examples/quickstart.py [platform]   (default: cpu)
+Run with:  python examples/quickstart.py [cpu|gpu|mcpu|mgpu]
 """
-
-from __future__ import annotations
-
 import sys
 
-from repro.core import UnifiedSearch, UnifiedSpaceConfig
-from repro.data import SyntheticImageDataset, test_loader, train_loader
-from repro.hardware import get_platform
-from repro.models import resnet34
-from repro.nn.trainer import proxy_fit
+import repro
 
-
-def main(platform_name: str = "cpu") -> None:
-    platform = get_platform(platform_name)
-    print(f"target platform: {platform.name} ({platform.peak_gflops:.0f} GFLOP/s peak, "
-          f"{platform.dram_bandwidth_gbs:.0f} GB/s)")
-
-    dataset = SyntheticImageDataset.cifar10_like(train_size=96, test_size=48, image_size=16)
-    model = resnet34(width_multiplier=0.25)
-    print(f"network: ResNet-34 (width 0.25) with {model.num_parameters():,} parameters")
-
-    images, labels = dataset.random_minibatch(4, seed=0)
-    search = UnifiedSearch(platform, configurations=60, tuner_trials=4,
-                           space=UnifiedSpaceConfig(seed=0), seed=0)
-    result = search.search(model, images, labels, dataset.spec.image_shape)
-
-    print(f"\nbaseline (TVM default schedules, auto-tuned): "
-          f"{result.baseline_latency_seconds * 1e3:.2f} ms")
-    print(f"unified search result:                         "
-          f"{result.optimized_latency_seconds * 1e3:.2f} ms "
-          f"({result.speedup:.2f}x speedup)")
-    print(f"candidates evaluated: {result.statistics.configurations_evaluated}, "
-          f"rejected by Fisher Potential: {100 * result.statistics.rejection_rate:.0f}%, "
-          f"search time {result.statistics.search_seconds:.1f}s")
-
-    print("\nper-layer choices (neural transformations only):")
-    for name, choice in result.choices.items():
-        if choice.sequence.is_neural:
-            print(f"  {name:32s} {choice.sequence.describe():28s} "
-                  f"{choice.speedup:5.2f}x")
-
-    optimized = search.materialize(resnet34(width_multiplier=0.25), result, seed=0)
-    original_fit = proxy_fit(resnet34(width_multiplier=0.25),
-                             train_loader(dataset, batch_size=16, seed=0),
-                             test_loader(dataset), epochs=2)
-    optimized_fit = proxy_fit(optimized, train_loader(dataset, batch_size=16, seed=0),
-                              test_loader(dataset), epochs=2)
-    print(f"\nproxy accuracy: original {100 * original_fit.final_accuracy:.1f}% "
-          f"-> optimised {100 * optimized_fit.final_accuracy:.1f}%")
-    print(f"parameters:     original {resnet34(width_multiplier=0.25).num_parameters():,} "
-          f"-> optimised {optimized.num_parameters():,}")
-
-
-if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else "cpu")
+result = repro.optimize("resnet34", platform=sys.argv[1] if len(sys.argv) > 1 else "cpu",
+                        budget=60, trials=4, seed=0)
+print(result.summary())

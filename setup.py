@@ -1,3 +1,33 @@
-from setuptools import setup
+"""Packaging for the repro library (the version lives in src/repro/__init__.py)."""
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+
+def read_version() -> str:
+    """Single-source version: parse it out of the package without importing."""
+    text = (Path(__file__).parent / "src" / "repro" / "__init__.py").read_text()
+    match = re.search(r'^__version__ = "([^"]+)"$', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="repro",
+    version=read_version(),
+    description=("NAS as program transformation exploration: unified "
+                 "optimisation of neural networks for deployment targets "
+                 "(ASPLOS'21 reproduction)"),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ],
+    },
+)

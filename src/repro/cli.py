@@ -1,0 +1,332 @@
+"""The command-line face of the façade API: ``python -m repro`` / ``repro``.
+
+Subcommands mirror the library one-to-one so everything the API can do is
+reachable from a shell::
+
+    repro experiments                      # list the registered experiments
+    repro run fig4 --scale ci --json       # regenerate a paper artefact
+    repro optimize --model resnet34        # one unified-search run
+    repro tune --shape 64x64x16x16x3x3 --program seq1 --platform mgpu
+    repro platforms                        # the four deployment targets
+    repro cache info | cache clear         # manage persisted engine caches
+
+Every subcommand honours ``--json`` (machine-readable documents built from
+the typed result objects), and the search/tune commands honour
+``--platform --scale --seed --trials --cache-dir`` uniformly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NAS as program transformation exploration — unified "
+                    "optimisation of neural networks for deployment targets.")
+    from repro import __version__
+
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", metavar="command")
+
+    run = commands.add_parser(
+        "run", help="run a registered experiment (a paper figure/table)")
+    run.add_argument("experiment", help="experiment name (see 'repro experiments')")
+    run.add_argument("--scale", default="ci",
+                     help="scale preset: ci (minutes) or full (paper settings)")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--platform", default=None,
+                     help="target platform, for experiments that take one "
+                          "(or to restrict a multi-platform experiment)")
+    run.add_argument("--platforms", default=None,
+                     help="comma-separated platform list, for experiments "
+                          "that sweep platforms")
+    run.add_argument("--network", default=None,
+                     help="network to study, for experiments that take one")
+    run.add_argument("--networks", default=None,
+                     help="comma-separated network list, for experiments "
+                          "that sweep networks")
+    run.add_argument("--models", default=None,
+                     help="comma-separated model list, for experiments "
+                          "that sweep models")
+    run.add_argument("--strategy", default=None,
+                     help="search strategy, for experiments that take one")
+    run.add_argument("--max-layers", type=int, default=None,
+                     help="layer cap, for experiments that take one")
+    run.add_argument("--json", action="store_true",
+                     help="emit the run as a JSON document instead of the report")
+
+    optimize = commands.add_parser(
+        "optimize", help="optimise one network for one platform")
+    optimize.add_argument("--model", default="resnet34",
+                          help="model-zoo network (see repro.MODEL_BUILDERS)")
+    optimize.add_argument("--platform", default="cpu")
+    optimize.add_argument("--strategy", default="greedy")
+    optimize.add_argument("--budget", type=int, default=60,
+                          help="configurations the search may evaluate")
+    optimize.add_argument("--trials", type=int, default=4,
+                          help="auto-tuner trials per loop nest")
+    optimize.add_argument("--seed", type=int, default=0)
+    optimize.add_argument("--width", type=float, default=0.25,
+                          help="width multiplier for the zoo network")
+    optimize.add_argument("--image-size", type=int, default=16)
+    optimize.add_argument("--cache-dir", default=None,
+                          help="persist engine caches under this directory "
+                               "(default: $REPRO_CACHE_DIR when set)")
+    optimize.add_argument("--progress", action="store_true",
+                          help="stream search progress events to stderr")
+    optimize.add_argument("--json", action="store_true")
+
+    tune = commands.add_parser(
+        "tune", help="auto-tune one convolution under one program")
+    tune.add_argument("--shape", default="64x64x16x16x3x3",
+                      help="convolution extents c_out x c_in x h x w x kh x kw")
+    tune.add_argument("--program", default="standard",
+                      help="named sequence kind (see 'repro.list_sequences()')")
+    tune.add_argument("--platform", default="cpu")
+    tune.add_argument("--trials", type=int, default=8)
+    tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--cache-dir", default=None)
+    tune.add_argument("--json", action="store_true")
+
+    platforms = commands.add_parser(
+        "platforms", help="list the modelled deployment targets")
+    platforms.add_argument("--json", action="store_true")
+
+    experiments = commands.add_parser(
+        "experiments", help="list the registered experiments")
+    experiments.add_argument("--json", action="store_true")
+
+    cache = commands.add_parser("cache", help="manage persisted engine caches")
+    cache_commands = cache.add_subparsers(dest="cache_command", metavar="action")
+    info = cache_commands.add_parser("info", help="show cached engine stores")
+    info.add_argument("--cache-dir", default=None)
+    info.add_argument("--json", action="store_true")
+    clear = cache_commands.add_parser("clear", help="delete cached engine stores")
+    clear.add_argument("--cache-dir", default=None)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+def _csv(text: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _run_options(spec, args) -> dict:
+    """Map the ``run`` flags onto the options the spec declared."""
+    if args.platform and args.platforms:
+        raise ReproError("pass either --platform or --platforms, not both")
+    provided = {
+        "platform": args.platform,
+        "platforms": _csv(args.platforms) if args.platforms else None,
+        "network": args.network,
+        "networks": _csv(args.networks) if args.networks else None,
+        "models": _csv(args.models) if args.models else None,
+        "strategy": args.strategy,
+        "max_layers": args.max_layers,
+    }
+    options = {}
+    for name, value in provided.items():
+        if value is None:
+            continue
+        if spec.supports(name):
+            options[name] = value
+        elif name == "platform" and spec.supports("platforms"):
+            # --platform restricts a multi-platform sweep to one target.
+            options["platforms"] = (value,)
+        else:
+            allowed = ", ".join(f"--{opt.replace('_', '-')}"
+                                for opt in spec.options) or "(none)"
+            raise ReproError(
+                f"experiment '{spec.name}' does not take "
+                f"--{name.replace('_', '-')}; it accepts: {allowed}")
+    return options
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments.registry import get_experiment, run_experiment
+
+    spec = get_experiment(args.experiment)
+    run = run_experiment(spec.name, scale=args.scale, seed=args.seed,
+                         **_run_options(spec, args))
+    if args.json:
+        print(json.dumps(run.document(), indent=2))
+    else:
+        print(run.report())
+    return 0
+
+
+def _print_progress(event) -> None:
+    data = ", ".join(f"{key}={value:.4g}" if isinstance(value, float)
+                     else f"{key}={value}" for key, value in event.data.items())
+    print(f"[{event.kind}] {data}", file=sys.stderr)
+
+
+def _cmd_optimize(args) -> int:
+    import repro
+    from repro.api import env_cache_dir
+
+    result = repro.optimize(
+        args.model, platform=args.platform, strategy=args.strategy,
+        budget=args.budget, trials=args.trials, seed=args.seed,
+        width=args.width, image_size=args.image_size,
+        cache_dir=args.cache_dir or env_cache_dir(),
+        observer=_print_progress if args.progress else None)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.summary())
+    return 0
+
+
+def _parse_shape(text: str):
+    from repro.api import resolve_shape
+
+    parts = text.replace(",", "x").lower().split("x")
+    try:
+        values = [int(part) for part in parts if part]
+    except ValueError:
+        raise ReproError(f"cannot parse shape '{text}'; expected integers "
+                         f"like 64x64x16x16x3x3") from None
+    return resolve_shape(values)
+
+
+def _cmd_tune(args) -> int:
+    import repro
+    from repro.api import env_cache_dir
+
+    result = repro.tune(_parse_shape(args.shape), args.program,
+                        platform=args.platform, trials=args.trials,
+                        seed=args.seed, cache_dir=args.cache_dir or env_cache_dir())
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(f"{result.program.describe()}")
+        print(f"on {result.platform}: {result.latency_ms:.4f} ms "
+              f"({result.tuner_trials} trials, seed {result.seed})")
+    return 0
+
+
+def _cmd_platforms(args) -> int:
+    from repro.api import list_platforms
+
+    specs = list_platforms()
+    if args.json:
+        import dataclasses
+
+        print(json.dumps({name: dataclasses.asdict(spec)
+                          for name, spec in specs.items()}, indent=2))
+        return 0
+    print(f"{'name':6s} {'kind':5s} {'GFLOP/s':>9s} {'GB/s':>7s} "
+          f"{'cores':>5s} {'vector':>6s}")
+    for name, spec in specs.items():
+        print(f"{name:6s} {spec.kind:5s} {spec.peak_gflops:9.0f} "
+              f"{spec.dram_bandwidth_gbs:7.1f} {spec.cores:5d} "
+              f"{spec.vector_width:6d}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments.registry import (EXPERIMENT_REGISTRY, describe,
+                                            load_all)
+
+    load_all()
+    if args.json:
+        print(json.dumps([
+            {"name": spec.name, "title": spec.title,
+             "description": spec.description, "scales": list(spec.scales),
+             "options": list(spec.options)}
+            for spec in EXPERIMENT_REGISTRY.values()], indent=2))
+        return 0
+    print(f"{len(EXPERIMENT_REGISTRY)} registered experiments "
+          f"(run with: repro run <name>):")
+    for spec in EXPERIMENT_REGISTRY.values():
+        print(f"  {describe(spec)}")
+    return 0
+
+
+def _cache_stores(cache_dir: str | None) -> list[Path]:
+    from repro.api import default_cache_dir
+
+    directory = Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
+    if not directory.exists():
+        return []
+    return sorted(directory.glob("engine-*.pkl"))
+
+
+def _cmd_cache(args) -> int:
+    if args.cache_command == "clear":
+        stores = _cache_stores(args.cache_dir)
+        for store in stores:
+            store.unlink()
+        print(f"removed {len(stores)} engine cache store(s)")
+        return 0
+    if args.cache_command == "info":
+        stores = _cache_stores(args.cache_dir)
+        rows = []
+        for store in stores:
+            try:
+                with open(store, "rb") as handle:
+                    payload = pickle.load(handle)
+                entries = len(payload.get("entries", {}))
+                version = payload.get("version")
+            except Exception:
+                entries, version = -1, None
+            rows.append({"path": str(store), "bytes": store.stat().st_size,
+                         "entries": entries, "format_version": version})
+        if getattr(args, "json", False):
+            print(json.dumps(rows, indent=2))
+            return 0
+        if not rows:
+            print("no engine cache stores found")
+            return 0
+        for row in rows:
+            entries = "unreadable" if row["entries"] < 0 else f"{row['entries']} entries"
+            print(f"{row['path']}  {row['bytes']} bytes  {entries} "
+                  f"(format v{row['format_version']})")
+        return 0
+    print("usage: repro cache {info,clear} [--cache-dir DIR]", file=sys.stderr)
+    return 2
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (the ``repro`` console script and ``python -m repro``)."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "optimize": _cmd_optimize,
+        "tune": _cmd_tune,
+        "platforms": _cmd_platforms,
+        "experiments": _cmd_experiments,
+        "cache": _cmd_cache,
+    }
+    handler = handlers.get(args.command)
+    if handler is None:
+        parser.print_help()
+        return 2
+    try:
+        return handler(args)
+    except BrokenPipeError:
+        # The reader (e.g. `| head`) closed the pipe; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

@@ -30,6 +30,11 @@ from repro.core.workloads import (
     total_macs,
     unique_shapes,
 )
+from repro.core.events import (
+    Observable,
+    Observer,
+    ProgressEvent,
+)
 from repro.core.engine import (
     EngineStatistics,
     EvaluationEngine,
@@ -67,6 +72,7 @@ __all__ = [
     "predefined_program", "random_sequence",
     "TABLE1_PRIMITIVES", "UnifiedSpace", "UnifiedSpaceConfig", "primitive_catalogue",
     "LayerWorkload", "extract_workloads", "total_macs", "unique_shapes",
+    "Observable", "Observer", "ProgressEvent",
     "EngineStatistics", "EvaluationEngine", "FisherOracle",
     "SEARCH_STRATEGIES", "SEARCH_STRATEGY_REGISTRY", "SearchStrategy",
     "get_strategy", "register_strategy",

@@ -37,12 +37,14 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
 import numpy as np
 
+from repro.core.events import Observable
 from repro.core.program import LegalityReport, TransformProgram
 from repro.core.sequences import predefined_program
 from repro.core.workloads import LayerWorkload
@@ -155,7 +157,7 @@ class FisherOracle:
         return score
 
 
-class EvaluationEngine:
+class EvaluationEngine(Observable):
     """Shared latency / Fisher oracles with a persistent cross-search cache.
 
     The engine owns a persistent executor pool: the first parallel
@@ -165,11 +167,16 @@ class EvaluationEngine:
     generation.  Call :meth:`close` — or use the engine as a context
     manager — to shut the workers down; a closed engine transparently
     recreates pools if it is used again.
+
+    The engine is :class:`~repro.core.events.Observable`: subscribers
+    receive one ``tune_batch`` event per :meth:`tune_many` submission, so
+    long searches can stream tuning progress (see ``repro.api``).
     """
 
     def __init__(self, platform: PlatformSpec, *, tuner_trials: int = 8,
                  seed: int | None = 0, cache_path: str | Path | None = None,
                  parallel: str = "serial", max_workers: int | None = None):
+        super().__init__()
         if tuner_trials < 1:
             raise EngineError("the engine needs at least one tuner trial")
         if parallel not in PARALLEL_MODES:
@@ -327,6 +334,7 @@ class EvaluationEngine:
             raise EngineError(
                 f"unknown parallel mode '{parallel}'; expected one of {PARALLEL_MODES}")
         items = list(items)
+        started = time.perf_counter()
         hits = 0
         missing: dict[LatencyKey, tuple[ConvolutionShape, TransformProgram]] = {}
         for shape, program in items:
@@ -350,6 +358,8 @@ class EvaluationEngine:
             self._cache_dirty = True
         self.statistics.latency_misses += len(items) - hits
         self.statistics.latency_hits += hits
+        self.emit("tune_batch", requested=len(items), hits=hits,
+                  tuned=len(missing), seconds=time.perf_counter() - started)
         return [self._latency_cache[self.latency_key(shape, program)]
                 for shape, program in items]
 
@@ -382,7 +392,10 @@ class EvaluationEngine:
         """
         target = Path(path) if path is not None else self.cache_path
         if target is None:
-            raise EngineError("no cache path given and the engine has none configured")
+            raise EngineError(
+                "save_cache() has no target: pass an explicit path, or construct "
+                "the engine with cache_path=... (OptimizationSession does this "
+                "automatically when given a cache_dir)")
         if not self._cache_dirty and target == self._synced_path and target.exists():
             return target
         target.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,74 @@
+"""Progress events: how long-running work streams its state to observers.
+
+The façade API (``repro.optimize``, :class:`repro.api.OptimizationSession`)
+accepts an *observer* — any callable taking one :class:`ProgressEvent` —
+and threads it through the unified search and the engine's batch tuner, so
+a long run can drive a progress bar, a log line per generation, or a
+dashboard without the library growing UI code.  Emitters publish through
+:class:`Observable`; when nobody subscribed, emitting is a no-op and the
+hot paths pay nothing beyond one attribute check.
+
+Event kinds emitted by the library (the ``data`` keys are part of the
+public surface and covered by ``tests/test_api.py``):
+
+``search_started``
+    ``platform``, ``strategy``, ``configurations``, ``layers``
+``baseline_tuned``
+    ``baseline_latency_seconds``
+``generation``
+    ``assignments`` (configurations submitted as one batch)
+``tune_batch``
+    ``requested``, ``hits``, ``tuned`` (unique misses), ``seconds``
+``search_finished``
+    ``baseline_latency_seconds``, ``optimized_latency_seconds``,
+    ``speedup``, ``configurations_evaluated``, ``search_seconds``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: An observer is any callable accepting one event (return value ignored).
+Observer = Callable[["ProgressEvent"], None]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress notification from a long-running operation.
+
+    ``data`` holds only JSON-serialisable values, so events can be logged
+    or shipped over a wire as they are.
+    """
+
+    kind: str
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "data": dict(self.data)}
+
+
+class Observable:
+    """A minimal publish/subscribe mixin for progress events."""
+
+    def __init__(self) -> None:
+        self._observers: list[Observer] = []
+
+    def subscribe(self, observer: Observer) -> None:
+        """Register ``observer`` to receive every event this object emits."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: Observer) -> None:
+        """Remove one registration of ``observer`` (no-op when absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def emit(self, kind: str, **data) -> None:
+        """Deliver ``ProgressEvent(kind, data)`` to every observer."""
+        if not self._observers:
+            return
+        event = ProgressEvent(kind=kind, data=data)
+        for observer in list(self._observers):
+            observer(event)

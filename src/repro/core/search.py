@@ -34,6 +34,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.core.engine import EvaluationEngine, FisherOracle
+from repro.core.events import Observer, ProgressEvent
 from repro.core.program import TransformProgram
 from repro.core.sequences import predefined_program
 from repro.core.unified_space import UnifiedSpace, UnifiedSpaceConfig
@@ -396,7 +397,8 @@ class UnifiedSearch:
                  tuner_trials: int = 8, fisher_threshold: float = 1.0,
                  strategy: str = "greedy",
                  space: UnifiedSpaceConfig | None = None, seed: int | None = None,
-                 engine: EvaluationEngine | None = None):
+                 engine: EvaluationEngine | None = None,
+                 observer: Observer | None = None):
         if configurations < 1:
             raise SearchError("the search needs at least one configuration")
         get_strategy(strategy)  # fail fast on unknown names
@@ -410,6 +412,10 @@ class UnifiedSearch:
         self.strategy = strategy
         self.space = UnifiedSpace(space or UnifiedSpaceConfig())
         self.seed = seed
+        # The observer receives the search's lifecycle/generation events and
+        # is subscribed to the engine's tune_batch events for the duration of
+        # each :meth:`search` call (see repro.core.events for the kinds).
+        self.observer = observer
         # The engine owns the tuner configuration; reproducibility is
         # controlled by the one seed threaded through it.
         self.engine = engine or EvaluationEngine(platform, tuner_trials=tuner_trials,
@@ -417,9 +423,28 @@ class UnifiedSearch:
         self.tuner_trials = self.engine.tuner_trials
 
     # ------------------------------------------------------------------
+    def _emit(self, kind: str, **data) -> None:
+        if self.observer is not None:
+            self.observer(ProgressEvent(kind=kind, data=data))
+
     def search(self, model, images: np.ndarray, labels: np.ndarray,
                input_shape: tuple[int, int, int]) -> UnifiedSearchResult:
-        """Run the unified search for ``model`` on this search's platform."""
+        """Run the unified search for ``model`` on this search's platform.
+
+        When the search was built with an ``observer``, it is subscribed to
+        the engine's ``tune_batch`` events for the duration of the run and
+        receives the search's own lifecycle events around them.
+        """
+        if self.observer is not None:
+            self.engine.subscribe(self.observer)
+        try:
+            return self._run_search(model, images, labels, input_shape)
+        finally:
+            if self.observer is not None:
+                self.engine.unsubscribe(self.observer)
+
+    def _run_search(self, model, images: np.ndarray, labels: np.ndarray,
+                    input_shape: tuple[int, int, int]) -> UnifiedSearchResult:
         start = time.perf_counter()
         rng = make_rng(self.seed)
 
@@ -429,6 +454,9 @@ class UnifiedSearch:
                      if w.name in profile.layers]
         if not workloads:
             raise SearchError("the model exposes no convolution layers to optimise")
+        self._emit("search_started", platform=self.platform.name,
+                   strategy=self.strategy, configurations=self.configurations,
+                   layers=len(workloads))
 
         per_layer_candidates: dict[str, list[TransformProgram]] = {}
         shapes: dict[str, ConvolutionShape] = {}
@@ -451,6 +479,7 @@ class UnifiedSearch:
             (w.name for w in workloads),
             self.engine.tune_many([(w.shape, standard) for w in workloads])))
         total_baseline = sum(baseline_latency.values())
+        self._emit("baseline_tuned", baseline_latency_seconds=total_baseline)
 
         statistics = SearchStatistics(
             unique_workloads=len({w.shape for w in workloads}),
@@ -491,6 +520,12 @@ class UnifiedSearch:
             )
 
         statistics.search_seconds = time.perf_counter() - start
+        self._emit("search_finished",
+                   baseline_latency_seconds=total_baseline,
+                   optimized_latency_seconds=best_latency,
+                   speedup=total_baseline / max(best_latency, 1e-12),
+                   configurations_evaluated=statistics.configurations_evaluated,
+                   search_seconds=statistics.search_seconds)
         return UnifiedSearchResult(
             platform=self.platform.name,
             baseline_latency_seconds=total_baseline,
@@ -531,6 +566,7 @@ class UnifiedSearch:
         """
         if not assignments:
             return
+        self._emit("generation", assignments=len(assignments))
         context.engine.tune_many(
             [(context.shapes[w.name], assignment[w.name])
              for assignment in assignments for w in context.workloads])
@@ -565,30 +601,45 @@ class UnifiedSearch:
         assigned the ``standard`` sequence keep their original convolution
         (their improvement comes purely from scheduling).
         """
-        from repro.nn.blocks import iter_replaceable_convs
-        from repro.nn.layers import Conv2d
+        return substitute_programs(
+            model,
+            [(name, choice.sequence, choice.shape)
+             for name, choice in result.choices.items()],
+            seed=seed)
 
-        rng = make_rng(seed)
-        replaceable = {name: (owner, conv) for name, owner, conv in
-                       iter_replaceable_convs(model) if isinstance(conv, Conv2d)}
-        from repro.errors import TransformError
 
-        for name, choice in result.choices.items():
-            if not choice.sequence.is_neural or name not in replaceable:
-                continue
-            owner, conv = replaceable[name]
-            # The search recorded the layer's real shape; deriving the
-            # operator from it keeps spatial transformations faithful.
-            shape = choice.shape or ConvolutionShape(
-                conv.out_channels, conv.in_channels, 1, 1,
-                conv.kernel_size, conv.kernel_size)
-            try:
-                config = choice.sequence.conv_config(shape)
-                derived = DerivedConv2d(conv.in_channels, conv.out_channels,
-                                        conv.kernel_size, stride=conv.stride,
-                                        padding=conv.padding, config=config,
-                                        rng=make_rng(int(rng.integers(0, 2 ** 31))))
-            except (ModelError, TransformError):
-                continue
-            setattr(owner, name.split(".")[-1], derived)
-        return model
+def substitute_programs(model, decisions, seed: int | None = None):
+    """Substitute derived operators for chosen neural programs (in place).
+
+    ``decisions`` is an iterable of ``(layer name, program, shape-or-None)``.
+    Layers whose program is not neural — or that the model does not expose
+    as a replaceable convolution — keep their original operator.  This is
+    the one materialisation path shared by :meth:`UnifiedSearch.materialize`
+    and the façade's :meth:`~repro.api.OptimizationResult.apply_to`.
+    """
+    from repro.errors import TransformError
+    from repro.nn.blocks import iter_replaceable_convs
+    from repro.nn.layers import Conv2d
+
+    rng = make_rng(seed)
+    replaceable = {name: (owner, conv) for name, owner, conv in
+                   iter_replaceable_convs(model) if isinstance(conv, Conv2d)}
+    for name, program, recorded_shape in decisions:
+        if not program.is_neural or name not in replaceable:
+            continue
+        owner, conv = replaceable[name]
+        # The search recorded the layer's real shape; deriving the
+        # operator from it keeps spatial transformations faithful.
+        shape = recorded_shape or ConvolutionShape(
+            conv.out_channels, conv.in_channels, 1, 1,
+            conv.kernel_size, conv.kernel_size)
+        try:
+            config = program.conv_config(shape)
+            derived = DerivedConv2d(conv.in_channels, conv.out_channels,
+                                    conv.kernel_size, stride=conv.stride,
+                                    padding=conv.padding, config=config,
+                                    rng=make_rng(int(rng.integers(0, 2 ** 31))))
+        except (ModelError, TransformError):
+            continue
+        setattr(owner, name.split(".")[-1], derived)
+    return model

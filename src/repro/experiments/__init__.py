@@ -12,14 +12,19 @@ Module                      Regenerates
 ``fig8_imagenet``           Figure 8 (ImageNet accuracy vs inference time)
 ``fig9_interpolation``      Figure 9 (interpolating between NAS models)
 ``analysis_search``         §7.2 accuracy / size / search-time analysis
+``deploy_study``            §1 deployment study (one network, four targets)
 ==========================  =================================================
 
-Every driver exposes ``run(scale=...)`` returning a structured result and
-``format_report(result)`` rendering the same rows/series the paper reports.
+Every driver registers an :class:`~repro.experiments.registry.ExperimentSpec`
+in the declarative registry, which is how the CLI (``python -m repro run
+<name>``), the tests and the benchmark harness drive it; ``run(scale=...)``
+returns a structured result and ``format_report(result)`` renders the same
+rows/series the paper reports.
 """
 
 from repro.experiments import (  # noqa: F401
     analysis_search,
+    deploy_study,
     fig3_fisher_filter,
     fig4_end_to_end,
     fig5_sequence_frequency,
@@ -30,9 +35,20 @@ from repro.experiments import (  # noqa: F401
     table1_primitives,
 )
 from repro.experiments.common import ExperimentScale, get_scale
+from repro.experiments.registry import (
+    EXPERIMENT_REGISTRY,
+    ExperimentRun,
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+)
 
 __all__ = [
-    "analysis_search", "fig3_fisher_filter", "fig4_end_to_end",
+    "analysis_search", "deploy_study", "fig3_fisher_filter", "fig4_end_to_end",
     "fig5_sequence_frequency", "fig6_layerwise", "fig7_fbnet", "fig8_imagenet",
     "fig9_interpolation", "table1_primitives", "ExperimentScale", "get_scale",
+    "EXPERIMENT_REGISTRY", "ExperimentRun", "ExperimentSpec",
+    "experiment_names", "get_experiment", "register_experiment", "run_experiment",
 ]

@@ -22,6 +22,11 @@ from repro.experiments.common import (
     format_table,
     get_scale,
 )
+from repro.experiments.registry import (
+    ExperimentSpec,
+    main as registry_main,
+    register_experiment,
+)
 from repro.hardware import get_platform
 from repro.nn.trainer import proxy_fit
 
@@ -107,5 +112,31 @@ def format_report(result: AnalysisResult) -> str:
     return f"Search analysis ({result.network})\n{table}"
 
 
+def to_payload(result: AnalysisResult) -> dict:
+    return {
+        "network": result.network,
+        "original_accuracy": result.original_accuracy,
+        "optimized_accuracy": result.optimized_accuracy,
+        "accuracy_delta": result.accuracy_delta,
+        "original_parameters": result.original_parameters,
+        "optimized_parameters": result.optimized_parameters,
+        "compression_ratio": result.compression_ratio,
+        "search_seconds": result.search_seconds,
+        "configurations_evaluated": result.configurations_evaluated,
+        "rejection_rate": result.rejection_rate,
+        "speedup": result.speedup,
+        "rejections_by_primitive": dict(result.rejections_by_primitive or {}),
+    }
+
+
+register_experiment(ExperimentSpec(
+    name="analysis",
+    title="§7.2 analysis: accuracy, size and search time of the unified approach",
+    description=__doc__.strip().splitlines()[0],
+    run=run, report=format_report, payload=to_payload,
+    options=("network", "platform", "strategy"),
+))
+
+
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    print(format_report(run()))
+    raise SystemExit(registry_main("analysis"))

@@ -127,6 +127,23 @@ def imagenet_dataset(scale: ExperimentScale, seed: int = 0) -> SyntheticImageDat
         image_size=scale.imagenet_image_size, num_classes=classes, seed=seed)
 
 
+def first_search_optimization(panels, strategy: str = "greedy", seed: int = 0):
+    """The first panel's unified-search outcome as a façade result (or None).
+
+    Shared ``primary`` extractor for registry specs built on
+    :func:`~repro.core.pipeline.compare_approaches` panels; the registry
+    passes the run's actual seed through.  ``strategy`` is the
+    :class:`~repro.core.search.UnifiedSearch` default the pipeline uses.
+    """
+    from repro.api import OptimizationResult
+
+    for panel in panels:
+        if panel.search_result is not None:
+            return OptimizationResult.from_search(panel.search_result,
+                                                  strategy=strategy, seed=seed)
+    return None
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
     """Render a plain-text table (the experiment drivers' report format)."""
     cells = [[str(h) for h in headers]] + [[_format_cell(c) for c in row] for row in rows]

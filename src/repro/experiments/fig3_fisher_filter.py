@@ -18,6 +18,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.experiments.common import ExperimentScale, cifar_dataset, format_table, get_scale
+from repro.experiments.registry import (
+    ExperimentSpec,
+    main as registry_main,
+    register_experiment,
+)
 from repro.nas.space import CellEvaluation, evaluate_cell, sample_cells, space_size
 
 
@@ -84,5 +89,26 @@ def format_report(result: Fig3Result) -> str:
     return f"Figure 3: Fisher Potential rejection filter\n{table}\n\n{summary}"
 
 
+def to_payload(result: Fig3Result) -> dict:
+    return {
+        "space_size": result.space_size,
+        "rank_correlation": result.rank_correlation,
+        "low_potential_mean_error": result.low_potential_mean_error,
+        "high_potential_mean_error": result.high_potential_mean_error,
+        "filter_separates": result.filter_separates,
+        "cells": [{"cell": e.spec.describe(), "fisher_potential": e.fisher_potential,
+                   "final_error": e.final_error, "parameters": e.parameters}
+                  for e in result.evaluations],
+    }
+
+
+register_experiment(ExperimentSpec(
+    name="fig3",
+    title="Figure 3: Fisher Potential as a rejection filter over NAS cells",
+    description=__doc__.strip().splitlines()[0],
+    run=run, report=format_report, payload=to_payload,
+))
+
+
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    print(format_report(run()))
+    raise SystemExit(registry_main("fig3"))

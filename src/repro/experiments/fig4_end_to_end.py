@@ -17,8 +17,14 @@ from repro.experiments.common import (
     cifar_dataset,
     cifar_model_builders,
     evaluation_engine,
+    first_search_optimization,
     format_table,
     get_scale,
+)
+from repro.experiments.registry import (
+    ExperimentSpec,
+    main as registry_main,
+    register_experiment,
 )
 
 
@@ -66,5 +72,40 @@ def format_report(result: Fig4Result) -> str:
     return f"Figure 4: end-to-end speedup over the TVM baseline\n{table}\n{summary}"
 
 
+def to_payload(result: Fig4Result) -> dict:
+    return {
+        "panels": [
+            {
+                "network": network, "platform": platform,
+                "speedups": panel.speedups(),
+                "latency_ms": {label: measurement.latency_ms
+                               for label, measurement in (
+                                   ("TVM", panel.tvm), ("NAS", panel.nas),
+                                   ("Ours", panel.ours))},
+                "parameters": {"TVM": panel.tvm.parameters,
+                               "NAS": panel.nas.parameters,
+                               "Ours": panel.ours.parameters},
+            }
+            for (network, platform), panel in result.panels.items()
+        ],
+        "ours_beats_nas_everywhere": result.ours_beats_nas_everywhere(),
+    }
+
+
+def primary_optimization(result: Fig4Result, seed: int = 0):
+    """The first panel's unified-search outcome as a façade result."""
+    return first_search_optimization(result.panels.values(), seed=seed)
+
+
+register_experiment(ExperimentSpec(
+    name="fig4",
+    title="Figure 4: end-to-end speedup, TVM vs NAS vs Ours (3 nets x 4 targets)",
+    description=__doc__.strip().splitlines()[0],
+    run=run, report=format_report, payload=to_payload,
+    primary=primary_optimization,
+    options=("networks", "platforms"),
+))
+
+
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    print(format_report(run()))
+    raise SystemExit(registry_main("fig4"))

@@ -23,6 +23,11 @@ from repro.experiments.common import (
     format_table,
     get_scale,
 )
+from repro.experiments.registry import (
+    ExperimentSpec,
+    main as registry_main,
+    register_experiment,
+)
 from repro.hardware import get_platform
 
 
@@ -74,5 +79,23 @@ def format_report(result: Fig5Result) -> str:
     return f"Figure 5: frequency of operation application\n{table}"
 
 
+def to_payload(result: Fig5Result) -> dict:
+    return {
+        "frequencies": {network: dict(counts)
+                        for network, counts in result.frequencies.items()},
+        "neural_layer_counts": dict(result.neural_layer_counts),
+        "layer_counts": dict(result.layer_counts),
+    }
+
+
+register_experiment(ExperimentSpec(
+    name="fig5",
+    title="Figure 5: frequency of operation application in the best networks",
+    description=__doc__.strip().splitlines()[0],
+    run=run, report=format_report, payload=to_payload,
+    options=("networks", "platform"),
+))
+
+
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    print(format_report(run()))
+    raise SystemExit(registry_main("fig5"))

@@ -22,6 +22,11 @@ from repro.experiments.common import (
     format_table,
     get_scale,
 )
+from repro.experiments.registry import (
+    ExperimentSpec,
+    main as registry_main,
+    register_experiment,
+)
 from repro.fisher import fisher_profile
 from repro.hardware import get_platform
 from repro.models import resnet34
@@ -106,5 +111,29 @@ def format_report(result: Fig6Result) -> str:
     return "Figure 6: layer-wise speedup over TVM (ResNet-34, Intel i7)\n" + table
 
 
+def to_payload(result: Fig6Result) -> dict:
+    import dataclasses
+
+    return {
+        "sequences": list(result.sequences),
+        "rows": [{"layer_index": row.layer_index,
+                  "shape": dataclasses.asdict(row.shape),
+                  "baseline_seconds": row.baseline_seconds,
+                  "speedups": dict(row.speedups),
+                  "sensitive": row.sensitive}
+                 for row in result.rows],
+        "sensitive_layers": result.sensitive_layers(),
+    }
+
+
+register_experiment(ExperimentSpec(
+    name="fig6",
+    title="Figure 6: layer-wise transformation sequences (ResNet-34 on i7)",
+    description=__doc__.strip().splitlines()[0],
+    run=run, report=format_report, payload=to_payload,
+    options=("platform", "max_layers"),
+))
+
+
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    print(format_report(run()))
+    raise SystemExit(registry_main("fig6"))

@@ -22,6 +22,11 @@ from repro.experiments.common import (
     format_table,
     get_scale,
 )
+from repro.experiments.registry import (
+    ExperimentSpec,
+    main as registry_main,
+    register_experiment,
+)
 from repro.hardware import get_platform
 from repro.nas.fbnet import FBNetSearch
 from repro.nn.blocks import iter_replaceable_convs
@@ -102,5 +107,25 @@ def format_report(result: Fig7Result) -> str:
     return f"Figure 7: Intel i7 comparison against FBNet\n{table}\n{notes}"
 
 
+def to_payload(result: Fig7Result) -> dict:
+    return {
+        "rows": [{"network": row.network, "TVM": row.tvm, "NAS": row.nas,
+                  "FBNet": row.fbnet, "Ours": row.ours,
+                  "fbnet_epochs": row.fbnet_epochs}
+                 for row in result.rows],
+        "ours_beats_fbnet": result.ours_beats_fbnet(),
+        "fbnet_needs_training": result.fbnet_needs_training(),
+    }
+
+
+register_experiment(ExperimentSpec(
+    name="fig7",
+    title="Figure 7: comparison against FBNet on the Intel i7",
+    description=__doc__.strip().splitlines()[0],
+    run=run, report=format_report, payload=to_payload,
+    options=("networks", "platform"),
+))
+
+
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    print(format_report(run()))
+    raise SystemExit(registry_main("fig7"))

@@ -26,6 +26,11 @@ from repro.experiments.common import (
     imagenet_dataset,
     imagenet_model_builders,
 )
+from repro.experiments.registry import (
+    ExperimentSpec,
+    main as registry_main,
+    register_experiment,
+)
 from repro.hardware import get_platform
 from repro.nn.trainer import proxy_fit
 
@@ -119,5 +124,30 @@ def format_report(result: Fig8Result) -> str:
     return f"Figure 8: ImageNet accuracy vs inference time (Intel i7)\n{table}\n{notes}"
 
 
+def to_payload(result: Fig8Result) -> dict:
+    return {
+        "points": [{"model": p.model,
+                    "original_latency_ms": p.original_latency_ms,
+                    "optimized_latency_ms": p.optimized_latency_ms,
+                    "speedup": p.speedup,
+                    "original_accuracy": p.original_accuracy,
+                    "optimized_accuracy": p.optimized_accuracy,
+                    "original_parameters": p.original_parameters,
+                    "optimized_parameters": p.optimized_parameters}
+                   for p in result.points],
+        "all_faster": result.all_faster(),
+        "max_accuracy_drop": result.max_accuracy_drop(),
+    }
+
+
+register_experiment(ExperimentSpec(
+    name="fig8",
+    title="Figure 8: ImageNet accuracy vs inference time (original vs Ours)",
+    description=__doc__.strip().splitlines()[0],
+    run=run, report=format_report, payload=to_payload,
+    options=("platform", "models"),
+))
+
+
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    print(format_report(run()))
+    raise SystemExit(registry_main("fig8"))

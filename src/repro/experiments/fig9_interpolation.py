@@ -13,6 +13,11 @@ from dataclasses import dataclass, field
 
 from repro.core.interpolation import InterpolationResult, interpolate_between_groupings
 from repro.experiments.common import ExperimentScale, cifar_dataset, format_table, get_scale
+from repro.experiments.registry import (
+    ExperimentSpec,
+    main as registry_main,
+    register_experiment,
+)
 from repro.models import resnet34
 
 
@@ -52,5 +57,24 @@ def format_report(result: Fig9Result) -> str:
     return f"Figure 9: interpolating between NAS models\n{table}\n{notes}"
 
 
+def to_payload(result: Fig9Result) -> dict:
+    return {
+        "points": [{"label": p.label, "parameters": p.parameters,
+                    "error": p.error, "is_endpoint": p.is_endpoint,
+                    "blend": p.blend}
+                   for p in result.points],
+        "pareto_labels": result.pareto_labels(),
+        "has_new_pareto_point": result.interpolation.has_new_pareto_point(),
+    }
+
+
+register_experiment(ExperimentSpec(
+    name="fig9",
+    title="Figure 9: interpolating between NAS models",
+    description=__doc__.strip().splitlines()[0],
+    run=run, report=format_report, payload=to_payload,
+))
+
+
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    print(format_report(run()))
+    raise SystemExit(registry_main("fig9"))

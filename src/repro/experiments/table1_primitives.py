@@ -16,6 +16,11 @@ from repro.core.program import TransformProgram, step
 from repro.core.unified_space import TABLE1_PRIMITIVES, primitive_catalogue
 from repro.errors import TransformError
 from repro.experiments.common import format_table
+from repro.experiments.registry import (
+    ExperimentSpec,
+    main as registry_main,
+    register_experiment,
+)
 from repro.hardware import get_platform
 from repro.poly.statement import ConvolutionShape
 from repro.tenir import lower
@@ -84,5 +89,22 @@ def format_report(result: Table1Result) -> str:
     return f"{header}\n{table}"
 
 
+def to_payload(result: Table1Result) -> dict:
+    return {
+        "rows": [{"category": category, "primitive": primitive,
+                  "description": description, "applicable": applicable}
+                 for category, primitive, description, applicable in result.rows],
+        "all_applicable": result.all_applicable,
+    }
+
+
+register_experiment(ExperimentSpec(
+    name="table1",
+    title="Table 1: the autotuning primitives of the unified space",
+    description=__doc__.strip().splitlines()[0],
+    run=run, report=format_report, payload=to_payload,
+))
+
+
 if __name__ == "__main__":  # pragma: no cover - manual entry point
-    print(format_report(run()))
+    raise SystemExit(registry_main("table1"))

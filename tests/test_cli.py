@@ -1,0 +1,174 @@
+"""Smoke tests for every ``python -m repro`` subcommand (CI scale)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import OptimizationResult, TuningResult
+from repro.cli import main
+
+#: Small search settings shared by the CLI runs in this module.
+TINY_OPTIMIZE = ["--budget", "6", "--trials", "3", "--width", "0.125",
+                 "--image-size", "8"]
+
+
+def run_cli(capsys, *argv: str) -> str:
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    return captured.out
+
+
+class TestExperiments:
+    def test_lists_all_ten(self, capsys):
+        out = run_cli(capsys, "experiments")
+        names = ("table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+                 "fig9", "analysis", "deploy")
+        for name in names:
+            assert name in out
+        assert "10 registered experiments" in out
+
+    def test_json_listing(self, capsys):
+        listing = json.loads(run_cli(capsys, "experiments", "--json"))
+        assert len(listing) == 10
+        assert {entry["name"] for entry in listing} >= {"fig4", "table1"}
+        assert all("title" in entry and "scales" in entry for entry in listing)
+
+
+class TestPlatforms:
+    def test_table(self, capsys):
+        out = run_cli(capsys, "platforms")
+        for name in ("cpu", "gpu", "mcpu", "mgpu"):
+            assert name in out
+
+    def test_json(self, capsys):
+        specs = json.loads(run_cli(capsys, "platforms", "--json"))
+        assert set(specs) == {"cpu", "gpu", "mcpu", "mgpu"}
+        assert specs["cpu"]["peak_gflops"] > 0
+
+
+class TestRun:
+    def test_report(self, capsys):
+        out = run_cli(capsys, "run", "table1")
+        assert "Table 1" in out and "threadIdx" in out
+
+    def test_json_document(self, capsys):
+        document = json.loads(run_cli(capsys, "run", "table1", "--json"))
+        assert document["schema"] == "repro.experiment/1"
+        assert document["experiment"] == "table1"
+        assert document["data"]["all_applicable"] is True
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["run", "fig99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_platform_flag_rejected_when_unsupported(self, capsys):
+        assert main(["run", "table1", "--platform", "gpu"]) == 1
+        assert "--platform" in capsys.readouterr().err
+
+    def test_declared_options_reach_the_run_fn(self, capsys, monkeypatch):
+        from repro.experiments import registry
+
+        captured = {}
+
+        def fake_run(scale, seed=0, **options):
+            captured.update(options)
+            return {"scale": str(scale)}
+
+        spec = registry.ExperimentSpec(
+            name="fake", title="a fake experiment", description="test-only",
+            run=fake_run, report=lambda result: "fake report",
+            payload=lambda result: result,
+            options=("platforms", "network", "max_layers"))
+        registry.load_all()
+        monkeypatch.setitem(registry.EXPERIMENT_REGISTRY, "fake", spec)
+        out = run_cli(capsys, "run", "fake", "--platform", "gpu",
+                      "--network", "ResNet-34", "--max-layers", "3")
+        # --platform restricts the sweep; typed flags arrive as keywords.
+        assert captured == {"platforms": ("gpu",), "network": "ResNet-34",
+                            "max_layers": 3}
+        assert "fake report" in out
+        assert main(["run", "fake", "--strategy", "random"]) == 1
+        assert "--strategy" in capsys.readouterr().err
+        assert main(["run", "fake", "--platform", "cpu",
+                     "--platforms", "cpu,gpu"]) == 1
+        assert "not both" in capsys.readouterr().err
+
+
+class TestOptimize:
+    def test_json_round_trips_as_result(self, capsys):
+        out = run_cli(capsys, "optimize", "--model", "resnet18",
+                      "--json", *TINY_OPTIMIZE)
+        result = OptimizationResult.from_dict(json.loads(out))
+        assert result.speedup >= 1.0
+        assert result.request is not None
+        assert result.request.model == "resnet18"
+
+    def test_summary_output(self, capsys):
+        out = run_cli(capsys, "optimize", "--model", "resnet18", *TINY_OPTIMIZE)
+        assert "speedup" in out
+
+    def test_unknown_model_fails(self, capsys):
+        assert main(["optimize", "--model", "vgg"]) == 1
+        assert "unknown model" in capsys.readouterr().err
+
+
+class TestTune:
+    def test_json_round_trips_as_result(self, capsys):
+        out = run_cli(capsys, "tune", "--shape", "16x16x8x8x3x3",
+                      "--program", "seq2", "--platform", "mgpu",
+                      "--trials", "3", "--json")
+        result = TuningResult.from_dict(json.loads(out))
+        assert result.platform == "mgpu"
+        assert result.latency_seconds > 0
+        assert result.program.kind == "seq2"
+
+    def test_text_output(self, capsys):
+        out = run_cli(capsys, "tune", "--shape", "16,16,8,8,3,3", "--trials", "3")
+        assert "ms" in out
+
+    def test_bad_shape_fails(self, capsys):
+        assert main(["tune", "--shape", "banana"]) == 1
+        assert "cannot parse shape" in capsys.readouterr().err
+
+
+class TestCache:
+    def test_info_and_clear(self, capsys, tmp_path):
+        run_cli(capsys, "optimize", "--model", "resnet18",
+                "--cache-dir", str(tmp_path), *TINY_OPTIMIZE)
+        info = run_cli(capsys, "cache", "info", "--cache-dir", str(tmp_path))
+        assert "entries" in info and "engine-cpu" in info
+        rows = json.loads(run_cli(capsys, "cache", "info",
+                                  "--cache-dir", str(tmp_path), "--json"))
+        assert len(rows) == 1 and rows[0]["entries"] > 0
+        out = run_cli(capsys, "cache", "clear", "--cache-dir", str(tmp_path))
+        assert "removed 1" in out
+        assert "no engine cache stores" in run_cli(
+            capsys, "cache", "info", "--cache-dir", str(tmp_path))
+
+    def test_empty_dir(self, capsys, tmp_path):
+        assert "no engine cache stores" in run_cli(
+            capsys, "cache", "info", "--cache-dir", str(tmp_path))
+
+    def test_env_var_is_the_default_cache_dir(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        run_cli(capsys, "tune", "--shape", "8x8x6x6x3x3", "--trials", "3")
+        assert list(tmp_path.glob("engine-*.pkl"))
+        # `cache info` inspects the same default location.
+        assert "engine-cpu" in run_cli(capsys, "cache", "info")
+
+
+class TestTopLevel:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out

@@ -8,11 +8,15 @@ from repro.core.pipeline import PipelineScale
 from repro.experiments import (
     ExperimentScale,
     analysis_search,
+    deploy_study,
+    experiment_names,
     fig3_fisher_filter,
     fig4_end_to_end,
     fig5_sequence_frequency,
     fig6_layerwise,
     fig9_interpolation,
+    get_experiment,
+    run_experiment,
     table1_primitives,
     get_scale,
 )
@@ -122,3 +126,80 @@ class TestAnalysis:
         assert result.speedup >= 1.0
         assert 0.0 <= result.rejection_rate <= 1.0
         assert "compression" in analysis_search.format_report(result)
+
+
+class TestDeployStudy:
+    def test_single_platform(self, tiny_scale):
+        result = deploy_study.run(tiny_scale, seed=0, network="ResNet-34",
+                                  platforms=("cpu",))
+        assert set(result.panels) == {"cpu"}
+        assert result.panels["cpu"].speedups()["Ours"] >= 1.0
+        assert result.best_platform_for_ours() == "cpu"
+        assert "Deployment study" in deploy_study.format_report(result)
+
+
+class TestRegistry:
+    def test_all_ten_experiments_registered(self):
+        assert set(experiment_names()) == {
+            "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+            "analysis", "deploy"}
+
+    def test_every_spec_is_complete(self):
+        for name in experiment_names():
+            spec = get_experiment(name)
+            assert spec.title and spec.description
+            assert callable(spec.run) and callable(spec.report)
+            assert callable(spec.payload)
+            assert "ci" in spec.scales and "full" in spec.scales
+
+    def test_run_experiment_produces_document(self, tiny_scale):
+        run = run_experiment("fig5", scale=tiny_scale, seed=0,
+                             networks=("ResNet-34",))
+        document = run.document()
+        assert document["schema"] == "repro.experiment/1"
+        assert document["experiment"] == "fig5"
+        assert document["scale"] == "ci"
+        assert document["data"]["layer_counts"]["ResNet-34"] > 0
+        assert "Figure 5" in run.report()
+
+    def test_fig4_document_reads_back_as_optimization_result(self, tiny_scale):
+        import json
+
+        from repro.api import OptimizationResult
+
+        run = run_experiment("fig4", scale=tiny_scale, seed=0,
+                             networks=("ResNet-34",), platforms=("cpu",))
+        document = json.loads(json.dumps(run.document()))
+        result = OptimizationResult.from_dict(document)
+        assert result.platform == "cpu"
+        assert result.speedup >= 1.0
+        assert len(result.layers) > 0
+        # ... while the full figure payload rides along in the envelope.
+        assert document["data"]["panels"][0]["network"] == "ResNet-34"
+
+    def test_unknown_names_and_options_fail_fast(self, tiny_scale):
+        with pytest.raises(Exception, match="unknown experiment"):
+            run_experiment("fig99")
+        with pytest.raises(Exception, match="does not accept"):
+            run_experiment("table1", scale=tiny_scale, platform="gpu")
+
+    def test_no_driver_keeps_a_bespoke_main(self):
+        """Every driver's __main__ block must delegate to the registry."""
+        import pathlib
+
+        import repro.experiments as experiments
+
+        package_dir = pathlib.Path(experiments.__file__).parent
+        drivers = [path for path in package_dir.glob("*.py")
+                   if path.name not in ("__init__.py", "common.py", "registry.py")]
+        assert len(drivers) == 10
+        for path in drivers:
+            text = path.read_text()
+            assert 'if __name__ == "__main__"' in text, path.name
+            main_block = text.split('if __name__ == "__main__"')[1]
+            assert "registry_main(" in main_block, path.name
+            # Delegation only: one raise line, nothing else.
+            statements = [line for line in main_block.splitlines()
+                          if line.strip() and not line.strip().startswith("#")
+                          and "pragma" not in line and "__main__" not in line]
+            assert len(statements) == 1, (path.name, statements)
