@@ -31,8 +31,10 @@ from repro.api import (
     program_to_dict,
     tune,
 )
+from repro.core.encoding import FEATURE_NAMES, encode_candidate
 from repro.core.engine import EvaluationEngine
 from repro.core.events import Observable, Observer, ProgressEvent
+from repro.core.predictor import LatencyPredictor
 from repro.core.program import TransformProgram, step
 from repro.core.search import UnifiedSearch, UnifiedSearchResult
 from repro.core.sequences import predefined_program
@@ -42,7 +44,7 @@ from repro.hardware.platform import PlatformSpec, get_platform
 from repro.poly.statement import ConvolutionShape
 
 #: Single-source package version (setup.py reads it from this file).
-__version__ = "0.4.0"
+__version__ = "0.5.0"
 
 #: The supported public surface.  Additions are backwards-compatible;
 #: removals or renames require a major version bump (DESIGN.md §9).
@@ -62,6 +64,8 @@ __all__ = [
     # the engine/search layer for advanced callers
     "EvaluationEngine", "UnifiedSearch", "UnifiedSearchResult",
     "UnifiedSpaceConfig",
+    # the predictor-guided search subsystem
+    "LatencyPredictor", "encode_candidate", "FEATURE_NAMES",
     # errors
     "ReproError",
     "__version__",

@@ -39,7 +39,12 @@ from typing import Callable, Mapping, Sequence
 
 from repro.core.engine import EvaluationEngine
 from repro.core.events import Observer
-from repro.core.program import TransformProgram, step
+from repro.core.program import (
+    TransformProgram,
+    program_from_dict,
+    program_to_dict,
+    step,
+)
 from repro.core.search import SEARCH_STRATEGY_REGISTRY, UnifiedSearch, UnifiedSearchResult
 from repro.core.sequences import SEQUENCE_KINDS, predefined_program
 from repro.core.unified_space import UnifiedSpaceConfig
@@ -57,6 +62,18 @@ from repro.models import (
 from repro.nn.module import Module
 from repro.poly.statement import ConvolutionShape
 
+#: The module's public surface, audited by ``tests/test_docs.py`` (every
+#: name must carry an example-bearing docstring).
+__all__ = [
+    "OptimizationSession", "OptimizationRequest", "OptimizationResult",
+    "LayerDecision", "TuningResult", "optimize", "tune",
+    "build_model", "MODEL_BUILDERS", "list_platforms", "list_sequences",
+    "program_to_dict", "program_from_dict", "resolve_program",
+    "resolve_shape", "default_cache_dir", "env_cache_dir",
+    "REQUEST_SCHEMA", "RESULT_SCHEMA", "TUNING_SCHEMA",
+]
+
+
 def default_cache_dir() -> Path:
     """The directory the ``repro cache`` subcommands inspect by default.
 
@@ -64,6 +81,10 @@ def default_cache_dir() -> Path:
     given a ``cache_dir`` (the CLI also honours the ``REPRO_CACHE_DIR``
     environment variable as that default), and this is where they land
     when ``REPRO_CACHE_DIR`` names no other place.
+
+    Example::
+
+        stores = sorted(default_cache_dir().glob("engine-*.pkl"))
     """
     import os
 
@@ -71,7 +92,12 @@ def default_cache_dir() -> Path:
 
 
 def env_cache_dir() -> str | None:
-    """``REPRO_CACHE_DIR`` when set — the CLI's implicit ``--cache-dir``."""
+    """``REPRO_CACHE_DIR`` when set — the CLI's implicit ``--cache-dir``.
+
+    Example::
+
+        cache_dir = args.cache_dir or env_cache_dir()
+    """
     import os
 
     return os.environ.get("REPRO_CACHE_DIR") or None
@@ -95,7 +121,12 @@ MODEL_BUILDERS: dict[str, Callable[..., Module]] = {
 
 
 def build_model(name: str, *, width_multiplier: float = 0.25) -> Module:
-    """Construct a model-zoo network by name (the CLI's ``--model`` values)."""
+    """Construct a model-zoo network by name (the CLI's ``--model`` values).
+
+    Example::
+
+        model = build_model("resnet34", width_multiplier=0.5)
+    """
     if name.startswith("instance:"):
         raise ReproError(
             f"request model '{name}' records a live module instance, not a "
@@ -112,43 +143,25 @@ def build_model(name: str, *, width_multiplier: float = 0.25) -> Module:
 # ---------------------------------------------------------------------------
 # Serialisation helpers shared by the typed documents
 # ---------------------------------------------------------------------------
-def program_to_dict(program: TransformProgram) -> dict:
-    """Serialise a transform program to plain JSON types."""
-    return {
-        "name": program.name,
-        "steps": [
-            {
-                "primitive": app.primitive,
-                "params": {key: list(value) if isinstance(value, tuple) else value
-                           for key, value in app.params},
-                "nest": app.nest,
-                "optional": app.optional,
-            }
-            for app in program.steps
-        ],
-    }
-
-
-def program_from_dict(document: Mapping) -> TransformProgram:
-    """Rebuild a transform program from :func:`program_to_dict` output."""
-    steps = tuple(
-        step(entry["primitive"], nest=entry.get("nest"),
-             optional=bool(entry.get("optional", False)),
-             **entry.get("params", {}))
-        for entry in document.get("steps", ())
-    )
-    return TransformProgram(name=document.get("name", "standard"), steps=steps)
-
-
 def resolve_program(program: TransformProgram | str) -> TransformProgram:
-    """Accept a program object or a named sequence kind (``"seq1"``, ...)."""
+    """Accept a program object or a named sequence kind (``"seq1"``, ...).
+
+    Example::
+
+        program = resolve_program("seq1")
+    """
     if isinstance(program, TransformProgram):
         return program
     return predefined_program(program)
 
 
 def resolve_shape(shape: ConvolutionShape | Sequence[int]) -> ConvolutionShape:
-    """Accept a :class:`ConvolutionShape` or a plain ``(co, ci, h, w, kh, kw)``."""
+    """Accept a :class:`ConvolutionShape` or a plain ``(co, ci, h, w, kh, kw)``.
+
+    Example::
+
+        shape = resolve_shape((64, 64, 16, 16, 3, 3))
+    """
     if isinstance(shape, ConvolutionShape):
         return shape
     values = [int(v) for v in shape]
@@ -188,6 +201,12 @@ class OptimizationRequest:
     marker with a clear message).  A request round-trips through
     :meth:`to_dict` / :meth:`from_dict`, so an archived result names the
     run that produced it.
+
+    Example::
+
+        request = OptimizationRequest(model="resnet34", platform="gpu",
+                                      strategy="model_guided", seed=7)
+        result = session.optimize(request=request)
     """
 
     model: str = "resnet34"
@@ -227,7 +246,14 @@ class OptimizationRequest:
 
 @dataclass(frozen=True)
 class LayerDecision:
-    """The program chosen for one layer, with the scores behind the choice."""
+    """The program chosen for one layer, with the scores behind the choice.
+
+    Example::
+
+        for decision in result.layers:
+            if decision.is_neural:
+                print(decision.layer, decision.program.kind, decision.speedup)
+    """
 
     layer: str
     program: TransformProgram
@@ -282,6 +308,13 @@ class OptimizationResult:
     ``from_dict`` round-trip through JSON; ``from_dict`` ignores unknown
     keys, so the experiment registry can embed a result inside a larger
     envelope and the envelope still deserialises as a result.
+
+    Example::
+
+        result = repro.optimize("resnet34", platform="cpu")
+        archived = json.dumps(result.to_dict())
+        restored = OptimizationResult.from_dict(json.loads(archived))
+        model = restored.apply_to(repro.build_model("resnet34"))
     """
 
     platform: str
@@ -411,7 +444,13 @@ class OptimizationResult:
 
 @dataclass(frozen=True)
 class TuningResult:
-    """Outcome of tuning one convolution under one program on one platform."""
+    """Outcome of tuning one convolution under one program on one platform.
+
+    Example::
+
+        tuned = repro.tune((64, 64, 16, 16, 3, 3), "seq1", platform="mgpu")
+        print(tuned.latency_ms)
+    """
 
     platform: str
     shape: ConvolutionShape
@@ -461,6 +500,12 @@ class OptimizationSession:
     engine key) and are torn down — dirty caches written back, worker
     pools shut down — by :meth:`close`, which the context-manager exit
     calls even when the body raised.
+
+    Example::
+
+        with OptimizationSession(cache_dir="~/.cache/repro") as session:
+            for platform in ("cpu", "gpu"):
+                result = session.optimize("resnet34", platform=platform)
     """
 
     def __init__(self, platform: str = "cpu", *, tuner_trials: int = 4,
@@ -651,6 +696,12 @@ def optimize(model: Module | str = "resnet34", *, platform: str = "cpu",
 
     Builds a session for the call, runs the search, and guarantees the
     engine teardown (cache write-back, pool shutdown) before returning.
+
+    Example::
+
+        result = repro.optimize("resnet34", platform="cpu",
+                                strategy="model_guided", budget=60)
+        print(f"{result.speedup:.2f}x")
     """
     with OptimizationSession(platform, tuner_trials=trials, seed=seed,
                              cache_dir=cache_dir, observer=observer) as session:
@@ -664,17 +715,33 @@ def tune(shape: ConvolutionShape | Sequence[int],
          program: TransformProgram | str = "standard", *, platform: str = "cpu",
          trials: int = 8, seed: int = 0,
          cache_dir: str | Path | None = None) -> TuningResult:
-    """One-call façade over the auto-tuner for a single convolution."""
+    """One-call façade over the auto-tuner for a single convolution.
+
+    Example::
+
+        tuned = repro.tune((64, 64, 16, 16, 3, 3), "seq1", platform="mgpu")
+    """
     with OptimizationSession(platform, tuner_trials=trials, seed=seed,
                              cache_dir=cache_dir) as session:
         return session.tune(shape, program)
 
 
 def list_platforms() -> dict[str, PlatformSpec]:
-    """The deployment targets the library models, keyed by CLI name."""
+    """The deployment targets the library models, keyed by CLI name.
+
+    Example::
+
+        for name, spec in repro.list_platforms().items():
+            print(name, spec.peak_gflops)
+    """
     return dict(PLATFORMS)
 
 
 def list_sequences() -> tuple[str, ...]:
-    """Named transformation-sequence kinds accepted wherever programs go."""
+    """Named transformation-sequence kinds accepted wherever programs go.
+
+    Example::
+
+        assert "seq1" in repro.list_sequences()
+    """
     return tuple(SEQUENCE_KINDS)

@@ -59,6 +59,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           "that sweep models")
     run.add_argument("--strategy", default=None,
                      help="search strategy, for experiments that take one")
+    run.add_argument("--strategies", default=None,
+                     help="comma-separated strategy list, for experiments "
+                          "that compare strategies (e.g. analysis_predictor)")
     run.add_argument("--max-layers", type=int, default=None,
                      help="layer cap, for experiments that take one")
     run.add_argument("--json", action="store_true",
@@ -133,6 +136,7 @@ def _run_options(spec, args) -> dict:
         "networks": _csv(args.networks) if args.networks else None,
         "models": _csv(args.models) if args.models else None,
         "strategy": args.strategy,
+        "strategies": _csv(args.strategies) if args.strategies else None,
         "max_layers": args.max_layers,
     }
     options = {}
@@ -167,8 +171,17 @@ def _cmd_run(args) -> int:
 
 
 def _print_progress(event) -> None:
-    data = ", ".join(f"{key}={value:.4g}" if isinstance(value, float)
-                     else f"{key}={value}" for key, value in event.data.items())
+    def render(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        if isinstance(value, (list, tuple)):
+            # tune_result events carry one serialised record per tuned
+            # candidate; the progress stream only needs the count.
+            return f"<{len(value)} entries>"
+        return str(value)
+
+    data = ", ".join(f"{key}={render(value)}"
+                     for key, value in event.data.items())
     print(f"[{event.kind}] {data}", file=sys.stderr)
 
 

@@ -6,9 +6,20 @@ from repro.core.program import (
     Primitive,
     PrimitiveApplication,
     TransformProgram,
+    program_from_dict,
+    program_to_dict,
     random_composition,
     register_primitive,
     step,
+)
+from repro.core.encoding import (
+    FEATURE_NAMES,
+    encode_batch,
+    encode_candidate,
+)
+from repro.core.predictor import (
+    LatencyPredictor,
+    PredictorStatistics,
 )
 from repro.core.sequences import (
     SEQUENCE_KINDS,
@@ -67,7 +78,10 @@ from repro.core.interpolation import (
 
 __all__ = [
     "PRIMITIVE_REGISTRY", "LegalityReport", "Primitive", "PrimitiveApplication",
-    "TransformProgram", "random_composition", "register_primitive", "step",
+    "TransformProgram", "program_from_dict", "program_to_dict",
+    "random_composition", "register_primitive", "step",
+    "FEATURE_NAMES", "encode_batch", "encode_candidate",
+    "LatencyPredictor", "PredictorStatistics",
     "SEQUENCE_KINDS", "SequenceSpec", "nas_candidate_sequences", "paper_sequences",
     "predefined_program", "random_sequence",
     "TABLE1_PRIMITIVES", "UnifiedSpace", "UnifiedSpaceConfig", "primitive_catalogue",

@@ -169,8 +169,17 @@ class EvaluationEngine(Observable):
     recreates pools if it is used again.
 
     The engine is :class:`~repro.core.events.Observable`: subscribers
-    receive one ``tune_batch`` event per :meth:`tune_many` submission, so
-    long searches can stream tuning progress (see ``repro.api``).
+    receive one ``tune_batch`` event per :meth:`tune_many` submission —
+    plus one ``tune_result`` event carrying the tuned entries, the
+    latency predictor's training feed — so long searches can stream
+    tuning progress (see ``repro.api``).
+
+    Example::
+
+        with EvaluationEngine(get_platform("cpu"), tuner_trials=8,
+                              cache_path="engine.pkl") as engine:
+            latencies = engine.tune_many([(shape, program)])
+            engine.save_cache()
     """
 
     def __init__(self, platform: PlatformSpec, *, tuner_trials: int = 8,
@@ -241,9 +250,21 @@ class EvaluationEngine(Observable):
     # ------------------------------------------------------------------
     # Cache keys
     # ------------------------------------------------------------------
-    def latency_key(self, shape: ConvolutionShape,
-                    program: TransformProgram) -> LatencyKey:
-        return (self.platform.name, shape, program, self.tuner_trials, self.seed)
+    def latency_key(self, shape: ConvolutionShape, program: TransformProgram,
+                    trials: int | None = None) -> LatencyKey:
+        """The full cache key of one query (``trials`` overrides the default).
+
+        ``trials`` is the fidelity axis the multi-fidelity strategies
+        exploit: a lower trial count is a cheaper, noisier estimate of the
+        same candidate, keyed separately so low-fidelity entries never
+        masquerade as full tunings.
+
+        Example::
+
+            key = engine.latency_key(shape, program, trials=2)
+        """
+        return (self.platform.name, shape, program,
+                self.tuner_trials if trials is None else int(trials), self.seed)
 
     @property
     def cache_size(self) -> int:
@@ -282,9 +303,15 @@ class EvaluationEngine(Observable):
     # The latency oracle
     # ------------------------------------------------------------------
     def tuned_latency(self, shape: ConvolutionShape,
-                      program: TransformProgram) -> float:
-        """Auto-tuned latency of ``program`` applied to ``shape``, memoised."""
-        key = self.latency_key(shape, program)
+                      program: TransformProgram,
+                      trials: int | None = None) -> float:
+        """Auto-tuned latency of ``program`` applied to ``shape``, memoised.
+
+        ``trials`` overrides the engine's tuner budget for this query (the
+        fidelity axis); the default is the full-budget tuning every search
+        result is reported at.
+        """
+        key = self.latency_key(shape, program, trials)
         cached = self._latency_cache.get(key)
         if cached is not None:
             self.statistics.latency_hits += 1
@@ -292,14 +319,15 @@ class EvaluationEngine(Observable):
         self._require_legal(shape, program)
         self.statistics.latency_misses += 1
         seconds, calls = _tune_entry((self.platform, shape, program,
-                                      self.tuner_trials, self.seed))
+                                      key[3], self.seed))
         self.statistics.tuner_calls += calls
         self._latency_cache[key] = seconds
         self._cache_dirty = True
         return seconds
 
     def cached_latency(self, shape: ConvolutionShape,
-                       program: TransformProgram) -> float:
+                       program: TransformProgram,
+                       trials: int | None = None) -> float:
         """Read a latency expected to be cached, without touching statistics.
 
         The batched search strategies account for their queries once, when
@@ -309,43 +337,54 @@ class EvaluationEngine(Observable):
         :meth:`tuned_latency`.  A genuinely missing key falls back to the
         counting path (and is tuned).
         """
-        value = self._latency_cache.get(self.latency_key(shape, program))
+        value = self._latency_cache.get(self.latency_key(shape, program, trials))
         if value is not None:
             return value
-        return self.tuned_latency(shape, program)
+        return self.tuned_latency(shape, program, trials)
 
     def tune_many(self, items: Iterable[tuple[ConvolutionShape, TransformProgram]],
                   parallel: str | None = None,
-                  max_workers: int | None = None) -> list[float]:
+                  max_workers: int | None = None,
+                  trials: int | None = None) -> list[float]:
         """Batch form of :meth:`tuned_latency`.
 
         Deduplicates the requests, tunes only the cache misses — serially
         or on the engine's persistent thread/process pool — and returns
         the latencies in request order.  Each miss is an independent pure
         function of its key, so the parallel result is bit-for-bit
-        identical to the serial one.
+        identical to the serial one.  ``trials`` overrides the tuner
+        budget for the whole batch (the fidelity axis).
 
         Hits and misses are counted per request against the cache state at
         call entry: a request list naming the same missing key twice
         records two misses (the work is still done once).
+
+        Observers receive one ``tune_batch`` event per call, and — when
+        any misses were tuned — one ``tune_result`` event whose entries
+        carry the tuned (shape, program, trials, latency) tuples in
+        JSON-serialisable form, which is how the latency predictor trains
+        incrementally from every tuning the engine performs.
         """
         parallel = parallel or self.parallel
         if parallel not in PARALLEL_MODES:
             raise EngineError(
                 f"unknown parallel mode '{parallel}'; expected one of {PARALLEL_MODES}")
         items = list(items)
+        batch_trials = self.tuner_trials if trials is None else int(trials)
+        if batch_trials < 1:
+            raise EngineError("tune_many needs at least one tuner trial")
         started = time.perf_counter()
         hits = 0
         missing: dict[LatencyKey, tuple[ConvolutionShape, TransformProgram]] = {}
         for shape, program in items:
-            key = self.latency_key(shape, program)
+            key = self.latency_key(shape, program, batch_trials)
             if key in self._latency_cache:
                 hits += 1
             elif key not in missing:
                 self._require_legal(shape, program)
                 missing[key] = (shape, program)
         if missing:
-            tasks = [(self.platform, shape, program, self.tuner_trials, self.seed)
+            tasks = [(self.platform, shape, program, batch_trials, self.seed)
                      for shape, program in missing.values()]
             if parallel == "serial" or len(tasks) == 1:
                 outcomes = [_tune_entry(task) for task in tasks]
@@ -360,7 +399,17 @@ class EvaluationEngine(Observable):
         self.statistics.latency_hits += hits
         self.emit("tune_batch", requested=len(items), hits=hits,
                   tuned=len(missing), seconds=time.perf_counter() - started)
-        return [self._latency_cache[self.latency_key(shape, program)]
+        if missing and self.has_observers:
+            from dataclasses import asdict
+
+            from repro.core.program import program_to_dict
+
+            self.emit("tune_result", trials=batch_trials, entries=[
+                {"shape": asdict(shape), "program": program_to_dict(program),
+                 "trials": batch_trials,
+                 "latency_seconds": self._latency_cache[key]}
+                for key, (shape, program) in missing.items()])
+        return [self._latency_cache[self.latency_key(shape, program, batch_trials)]
                 for shape, program in items]
 
     def workloads_latency(self, workloads: Iterable[LayerWorkload],

@@ -19,6 +19,17 @@ public surface and covered by ``tests/test_api.py``):
     ``assignments`` (configurations submitted as one batch)
 ``tune_batch``
     ``requested``, ``hits``, ``tuned`` (unique misses), ``seconds``
+``tune_result``
+    ``trials`` and ``entries`` — one serialised ``{shape, program,
+    trials, latency_seconds}`` record per tuned cache miss of a
+    ``tune_many`` call.  This is the training feed of the online latency
+    predictor (:meth:`repro.core.predictor.LatencyPredictor.attach`).
+``predictor_fitted``
+    ``observations``, ``mae`` — the ``model_guided`` strategy refit its
+    surrogate on the tunings observed so far
+``fidelity_promotion``
+    ``rung``, ``trials``, ``candidates``, ``survivors`` — one successive
+    halving round of the ``hyperband`` strategy
 ``search_finished``
     ``baseline_latency_seconds``, ``optimized_latency_seconds``,
     ``speedup``, ``configurations_evaluated``, ``search_seconds``
@@ -39,6 +50,11 @@ class ProgressEvent:
 
     ``data`` holds only JSON-serialisable values, so events can be logged
     or shipped over a wire as they are.
+
+    Example::
+
+        def observer(event: ProgressEvent) -> None:
+            log.info("%s %s", event.kind, event.to_dict()["data"])
     """
 
     kind: str
@@ -49,7 +65,13 @@ class ProgressEvent:
 
 
 class Observable:
-    """A minimal publish/subscribe mixin for progress events."""
+    """A minimal publish/subscribe mixin for progress events.
+
+    Example::
+
+        engine.subscribe(lambda event: print(event.kind, event.data))
+        engine.tune_many(items)   # observers see tune_batch / tune_result
+    """
 
     def __init__(self) -> None:
         self._observers: list[Observer] = []
@@ -64,6 +86,16 @@ class Observable:
             self._observers.remove(observer)
         except ValueError:
             pass
+
+    @property
+    def has_observers(self) -> bool:
+        """True when at least one observer is subscribed.
+
+        Emitters building expensive event payloads (e.g. the engine's
+        serialised ``tune_result`` entries) check this first so the hot
+        path pays nothing when nobody listens.
+        """
+        return bool(self._observers)
 
     def emit(self, kind: str, **data) -> None:
         """Deliver ``ProgressEvent(kind, data)`` to every observer."""

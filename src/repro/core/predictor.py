@@ -1,0 +1,358 @@
+"""The online latency surrogate behind the ``model_guided`` search.
+
+Full-trial auto-tuning is the expensive step of every search: each unique
+``(shape, program)`` pair costs ``tuner_trials`` schedule evaluations.
+The model-based NAS literature (BANANAS, DeepHyper's asynchronous
+model-based search) replaces most of those evaluations with a cheap
+learned surrogate: train a regressor on the candidates evaluated so far,
+*predict* the rest, and spend real evaluations only on the most promising
+few.  :class:`LatencyPredictor` is that surrogate for the unified space:
+
+* **model** — ridge regression (optionally a small bootstrap ensemble)
+  over the fixed-width candidate encodings of
+  :mod:`repro.core.encoding`, fit on ``log`` latency so the targets are
+  well-conditioned across layers whose costs span orders of magnitude.
+  Closed-form normal equations on the ``numpy`` substrate — no new
+  dependencies, bit-deterministic for a given observation history;
+* **online lifecycle** — the predictor trains incrementally:
+  :meth:`observe` records every tuned result, and :meth:`attach`
+  subscribes it to an :class:`~repro.core.engine.EvaluationEngine`'s
+  ``tune_result`` event stream so *every* ``tune_many`` miss (from any
+  strategy, any search, even another search sharing the engine) becomes
+  training data.  Refits are lazy: :meth:`predict` refits at most once
+  per batch of new observations;
+* **cold start** — below :attr:`min_observations` the predictor reports
+  ``ready == False`` and the strategies fall back to random selection;
+* **accounting** — every prediction later checked against a real tuning
+  updates a running mean absolute relative error
+  (:attr:`PredictorStatistics.mean_absolute_error`), surfaced through
+  ``SearchStatistics.predictor_mae``.
+
+Example::
+
+    from repro.core.predictor import LatencyPredictor
+
+    predictor = LatencyPredictor(min_observations=4)
+    predictor.attach(engine)                 # learn from every tune_many
+    engine.tune_many(pairs)                  # ... tuning happens ...
+    if predictor.ready:
+        ranked = predictor.predict_batch(candidate_pairs)
+
+See DESIGN.md §10 for the surrogate lifecycle and the fidelity rules.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.encoding import FEATURE_NAMES, encode_candidate
+from repro.core.events import ProgressEvent
+from repro.core.program import TransformProgram, program_from_dict
+from repro.errors import SearchError
+from repro.poly.statement import ConvolutionShape
+from repro.utils import make_rng
+
+#: One observation/prediction key: everything the tuned latency varies by
+#: within one engine (the platform and seed are fixed per predictor use).
+CandidateKey = tuple[ConvolutionShape, TransformProgram, int]
+
+
+@dataclass
+class PredictorStatistics:
+    """Counters for the surrogate's traffic and accuracy.
+
+    ``mean_absolute_error`` is the running mean of
+    ``|predicted - actual| / actual`` over every prediction that was later
+    verified by a real tuning — a relative error, so one number is
+    meaningful across layers whose latencies differ by orders of
+    magnitude.
+
+    Example::
+
+        stats = predictor.statistics
+        print(stats.observations, stats.fits, stats.mean_absolute_error)
+    """
+
+    observations: int = 0
+    fits: int = 0
+    predictions: int = 0
+    verified_predictions: int = 0
+    absolute_error_sum: float = 0.0
+
+    @property
+    def mean_absolute_error(self) -> float:
+        if not self.verified_predictions:
+            return 0.0
+        return self.absolute_error_sum / self.verified_predictions
+
+
+class _RidgeModel:
+    """Closed-form ridge regression with feature standardisation."""
+
+    def __init__(self, l2: float = 1e-3):
+        self.l2 = l2
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+        self._weights: np.ndarray | None = None
+        self._intercept = 0.0
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        self._mean = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        self._scale = scale
+        standardised = (features - self._mean) / scale
+        self._intercept = float(targets.mean())
+        centred = targets - self._intercept
+        gram = standardised.T @ standardised
+        gram[np.diag_indices_from(gram)] += self.l2 * len(targets)
+        self._weights = np.linalg.solve(gram, standardised.T @ centred)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise SearchError("ridge model queried before its first fit")
+        standardised = (features - self._mean) / self._scale
+        return standardised @ self._weights + self._intercept
+
+
+class LatencyPredictor:
+    """Online surrogate over candidate encodings (see the module docstring).
+
+    ``ensemble_size > 1`` fits that many ridge models on deterministic
+    bootstrap resamples (seeded by ``seed``) and predicts their mean —
+    the BANANAS-style ensemble without its neural network.  The default
+    is the single exact ridge fit.
+
+    Example::
+
+        predictor = LatencyPredictor(min_observations=4, ensemble_size=3)
+        predictor.observe(shape, program, latency_seconds=2.5e-4, trials=8)
+        if predictor.ready:
+            predicted = predictor.predict(shape, program, trials=8)
+    """
+
+    def __init__(self, *, min_observations: int = 8, l2: float = 1e-3,
+                 ensemble_size: int = 1, seed: int = 0):
+        if min_observations < 2:
+            raise SearchError("the predictor needs at least two observations")
+        if ensemble_size < 1:
+            raise SearchError("ensemble_size must be at least 1")
+        self.min_observations = min_observations
+        self.l2 = l2
+        self.ensemble_size = ensemble_size
+        self.seed = 0 if seed is None else int(seed)
+        self.statistics = PredictorStatistics()
+        self._features: list[np.ndarray] = []
+        self._targets: list[float] = []
+        self._seen: set[CandidateKey] = set()
+        self._pending: dict[CandidateKey, float] = {}
+        self._models: list[_RidgeModel] = []
+        self._dirty = False
+        self._observers: dict[int, object] = {}
+        self._references: dict[ConvolutionShape, float] = {}
+
+    # ------------------------------------------------------------------
+    # Reference latencies (targets become log ratios to these)
+    # ------------------------------------------------------------------
+    def set_reference(self, shape: ConvolutionShape, latency_seconds: float) -> None:
+        """Register ``shape``'s baseline latency as its prediction reference.
+
+        Once a reference is known, observations and predictions for the
+        shape are modelled as a *ratio* to it: the surrogate explains only
+        what the transformation changes.  Shapes without a reference fall
+        back to absolute (log) latency.
+
+        Example::
+
+            predictor.set_reference(shape, baseline_seconds)
+        """
+        if latency_seconds > 0:
+            self._references[shape] = float(latency_seconds)
+
+    def _reference_for(self, shape: ConvolutionShape,
+                       explicit: float | None = None) -> float:
+        if explicit is not None and explicit > 0:
+            return float(explicit)
+        return self._references.get(shape, 1.0)
+
+    # ------------------------------------------------------------------
+    # Observations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _encode(shape: ConvolutionShape, program: TransformProgram,
+                trials: int) -> np.ndarray:
+        # The tuner-trial budget is the fidelity axis: more trials find
+        # better schedules, so the fidelity rides along as one extra
+        # feature and low-fidelity observations still teach the model.
+        base = encode_candidate(shape, program)
+        return np.concatenate([base, [math.log2(max(int(trials), 1))]])
+
+    def observe(self, shape: ConvolutionShape, program: TransformProgram,
+                latency_seconds: float, *, trials: int = 1,
+                reference: float | None = None) -> None:
+        """Record one tuned result; verifies any pending prediction for it.
+
+        ``reference`` is an optional latency to learn *relative to* —
+        callers that know the shape's baseline (standard-program) latency
+        pass it so the model only has to explain the transformation's
+        effect, not the shape's absolute scale, which the baseline
+        already measures exactly.  Predictions are made against the same
+        reference (see :meth:`set_reference`).
+
+        Example::
+
+            predictor.observe(shape, program, seconds, trials=engine.tuner_trials)
+        """
+        key = (shape, program, int(trials))
+        predicted = self._pending.pop(key, None)
+        if predicted is not None and latency_seconds > 0:
+            self.statistics.verified_predictions += 1
+            self.statistics.absolute_error_sum += (
+                abs(predicted - latency_seconds) / latency_seconds)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self._features.append(self._encode(shape, program, int(trials)))
+        self._targets.append(math.log(max(float(latency_seconds), 1e-18))
+                             - math.log(self._reference_for(shape, reference)))
+        self.statistics.observations += 1
+        self._dirty = True
+
+    def observe_many(self, entries: Iterable[tuple[ConvolutionShape,
+                                                   TransformProgram, float]], *,
+                     trials: int = 1) -> None:
+        """Batch form of :meth:`observe` (same entries, one call).
+
+        Example::
+
+            predictor.observe_many(zip(shapes, programs, latencies), trials=8)
+        """
+        for shape, program, latency_seconds in entries:
+            self.observe(shape, program, latency_seconds, trials=trials)
+
+    # ------------------------------------------------------------------
+    # The engine event stream (PR-4 observers)
+    # ------------------------------------------------------------------
+    def attach(self, engine) -> None:
+        """Subscribe to ``engine``'s ``tune_result`` events.
+
+        Every future :meth:`~repro.core.engine.EvaluationEngine.tune_many`
+        miss the engine tunes becomes one observation, regardless of which
+        strategy or search submitted it.  Idempotent per engine; pair with
+        :meth:`detach`.
+
+        Example::
+
+            predictor.attach(engine)
+            try:
+                ...  # searches against the engine train the predictor
+            finally:
+                predictor.detach(engine)
+        """
+        if id(engine) in self._observers:
+            return
+
+        def _on_event(event: ProgressEvent) -> None:
+            if event.kind != "tune_result":
+                return
+            for entry in event.data.get("entries", ()):
+                self.observe(
+                    ConvolutionShape(**{key: int(value) for key, value
+                                        in entry["shape"].items()}),
+                    program_from_dict(entry["program"]),
+                    float(entry["latency_seconds"]),
+                    trials=int(entry["trials"]))
+
+        self._observers[id(engine)] = _on_event
+        engine.subscribe(_on_event)
+
+    def detach(self, engine) -> None:
+        """Remove the subscription :meth:`attach` made (no-op when absent)."""
+        observer = self._observers.pop(id(engine), None)
+        if observer is not None:
+            engine.unsubscribe(observer)
+
+    # ------------------------------------------------------------------
+    # Fitting and prediction
+    # ------------------------------------------------------------------
+    @property
+    def ready(self) -> bool:
+        """True once enough observations arrived for a trustworthy fit."""
+        return len(self._targets) >= self.min_observations
+
+    def fit(self) -> bool:
+        """(Re)fit on everything observed so far; returns True when it ran.
+
+        Lazy: a clean model (no observations since the last fit) is left
+        untouched, so callers may invoke ``fit`` per round for free.
+        """
+        if not self.ready or not self._dirty:
+            return False
+        features = np.stack(self._features)
+        targets = np.array(self._targets)
+        models = [_RidgeModel(l2=self.l2)]
+        models[0].fit(features, targets)
+        if self.ensemble_size > 1:
+            rng = make_rng(self.seed)
+            for _ in range(self.ensemble_size - 1):
+                picks = rng.integers(0, len(targets), size=len(targets))
+                member = _RidgeModel(l2=self.l2)
+                member.fit(features[picks], targets[picks])
+                models.append(member)
+        self._models = models
+        self._dirty = False
+        # Predictions made by the superseded model are no longer worth
+        # verifying: charging their error to the new model would pollute
+        # the MAE, and never-tuned entries would otherwise pile up
+        # unboundedly across warm-predictor reuse.
+        self._pending.clear()
+        self.statistics.fits += 1
+        return True
+
+    def predict(self, shape: ConvolutionShape, program: TransformProgram, *,
+                trials: int = 1) -> float:
+        """Predicted latency (seconds) of one candidate at one fidelity."""
+        return float(self.predict_batch([(shape, program)], trials=trials)[0])
+
+    def predict_batch(self, items: Iterable[tuple[ConvolutionShape,
+                                                  TransformProgram]], *,
+                      trials: int = 1) -> np.ndarray:
+        """Predicted latencies for many candidates (refits when dirty).
+
+        Predictions are remembered per candidate; when a real tuning for
+        the same key arrives through :meth:`observe`, the error feeds the
+        running MAE.  Raises :class:`~repro.errors.SearchError` before
+        the cold-start threshold — callers check :attr:`ready` first.
+
+        Example::
+
+            predicted = predictor.predict_batch(pairs, trials=8)
+            order = np.argsort(predicted)
+        """
+        items = list(items)
+        self.fit()
+        if not self._models:
+            raise SearchError(
+                f"predictor is cold: {len(self._targets)} observation(s) "
+                f"recorded, needs {self.min_observations}")
+        if not items:
+            return np.empty(0, dtype=np.float64)
+        features = np.stack([self._encode(shape, program, int(trials))
+                             for shape, program in items])
+        stacked = np.stack([model.predict(features) for model in self._models])
+        references = np.array([self._reference_for(shape)
+                               for shape, _program in items])
+        predicted = np.exp(stacked.mean(axis=0)) * references
+        for (shape, program), seconds in zip(items, predicted):
+            self._pending[(shape, program, int(trials))] = float(seconds)
+        self.statistics.predictions += len(items)
+        return predicted
+
+    @property
+    def feature_width(self) -> int:
+        """Width of the model's input (encoding columns + the fidelity)."""
+        return len(FEATURE_NAMES) + 1

@@ -80,7 +80,14 @@ class PrimitiveApplication:
 
 def step(primitive: str, *, nest: int | None = None, optional: bool = False,
          **params) -> PrimitiveApplication:
-    """Build a :class:`PrimitiveApplication` with canonicalised parameters."""
+    """Build a :class:`PrimitiveApplication` with canonicalised parameters.
+
+    Example::
+
+        program = TransformProgram(name="tiled", steps=(
+            step("tile", iterator="ci", factor=4),
+            step("unroll", iterator="kw", factor=8)))
+    """
     frozen = tuple(sorted((key, _freeze(value)) for key, value in params.items()))
     return PrimitiveApplication(primitive=primitive, params=frozen, nest=nest,
                                 optional=optional)
@@ -487,6 +494,12 @@ class TransformProgram:
     were labelled, so a sampled composition that happens to reproduce a
     predefined sequence shares its engine cache entries instead of being
     tuned twice.
+
+    Example::
+
+        program = TransformProgram(name="grouped", steps=(
+            step("group", factor=2), step("tile", iterator="ci", factor=4)))
+        assert program.is_neural and program.applicable(shape)
     """
 
     name: str = field(default="standard", compare=False)
@@ -614,6 +627,56 @@ def _conv_config(program: TransformProgram,
     return ConvTransformConfig.from_neural_transformations(
         [stage.neural_transformations for stage in stages],
         source_in_channels=shape.c_in, unroll=unroll)
+
+
+# ---------------------------------------------------------------------------
+# JSON (de)serialisation
+# ---------------------------------------------------------------------------
+def program_to_dict(program: TransformProgram) -> dict:
+    """Serialise a transform program to plain JSON types.
+
+    The inverse of :func:`program_from_dict`; the façade's typed
+    documents and the engine's ``tune_result`` events both speak this
+    format.
+
+    Example::
+
+        document = program_to_dict(predefined_program("seq1"))
+        assert program_from_dict(document) == predefined_program("seq1")
+    """
+    return {
+        "name": program.name,
+        "steps": [
+            {
+                "primitive": app.primitive,
+                "params": {key: list(value) if isinstance(value, tuple) else value
+                           for key, value in app.params},
+                "nest": app.nest,
+                "optional": app.optional,
+            }
+            for app in program.steps
+        ],
+    }
+
+
+def program_from_dict(document) -> TransformProgram:
+    """Rebuild a transform program from :func:`program_to_dict` output.
+
+    Steps go back through the same :func:`step` constructor the IR uses,
+    so a deserialised program compares equal to the original and shares
+    its engine cache entries.
+
+    Example::
+
+        program = program_from_dict({"name": "standard", "steps": []})
+    """
+    steps = tuple(
+        step(entry["primitive"], nest=entry.get("nest"),
+             optional=bool(entry.get("optional", False)),
+             **entry.get("params", {}))
+        for entry in document.get("steps", ())
+    )
+    return TransformProgram(name=document.get("name", "standard"), steps=steps)
 
 
 # ---------------------------------------------------------------------------

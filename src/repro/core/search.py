@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.engine import EvaluationEngine, FisherOracle
 from repro.core.events import Observer, ProgressEvent
+from repro.core.predictor import LatencyPredictor
 from repro.core.program import TransformProgram
 from repro.core.sequences import predefined_program
 from repro.core.unified_space import UnifiedSpace, UnifiedSpaceConfig
@@ -82,6 +83,16 @@ class SearchStatistics:
     unique_workloads: int = 0
     candidate_sequences: int = 0
     rejections_by_primitive: dict[str, int] = field(default_factory=dict)
+    #: mean absolute relative error of the latency surrogate's verified
+    #: predictions (``model_guided`` only; 0.0 when no surrogate ran)
+    predictor_mae: float = 0.0
+    #: candidate evaluations the strategy avoided paying full tuning cost
+    #: for — surrogate-screened pairs (``model_guided``) or assignments
+    #: never promoted to the full-trial rung (``hyperband``)
+    evaluations_saved: int = 0
+    #: unique (shape, program) pairs the strategy tuned at the engine's
+    #: full trial budget (excluding the per-layer baselines)
+    full_tunings: int = 0
 
     @property
     def rejection_rate(self) -> float:
@@ -123,7 +134,13 @@ class _SearchContext:
 
 @dataclass
 class UnifiedSearchResult:
-    """Outcome of the unified search on one network / platform pair."""
+    """Outcome of the unified search on one network / platform pair.
+
+    Example::
+
+        result = search.search(model, images, labels, input_shape)
+        print(result.speedup, result.sequence_frequency())
+    """
 
     platform: str
     baseline_latency_seconds: float
@@ -385,20 +402,347 @@ class LocalSearchStrategy:
         return assignment, best_latency
 
 
+def _candidate_pairs(context: _SearchContext
+                     ) -> list[tuple[ConvolutionShape, TransformProgram]]:
+    """Deduplicated (shape, program) pairs over every layer's candidates.
+
+    Order is deterministic: workloads in model order, candidates in
+    generation order, first occurrence wins — so index-based sampling
+    from the context RNG reproduces exactly across runs and engine modes.
+    The always-tuned ``standard`` baseline is excluded.
+    """
+    pairs: list[tuple[ConvolutionShape, TransformProgram]] = []
+    seen: set[tuple[ConvolutionShape, TransformProgram]] = set()
+    for workload in context.workloads:
+        shape = context.shapes[workload.name]
+        for sequence in context.candidates[workload.name]:
+            if sequence == context.standard:
+                continue
+            key = (shape, sequence)
+            if key not in seen:
+                seen.add(key)
+                pairs.append(key)
+    return pairs
+
+
+def _shape_baselines(context: _SearchContext) -> dict[ConvolutionShape, float]:
+    """Baseline (standard-program) latency per unique shape."""
+    return {context.shapes[w.name]: context.baseline_latency[w.name]
+            for w in context.workloads}
+
+
+@register_strategy("model_guided")
+class ModelGuidedStrategy:
+    """Sample many, predict, tune only the top-k, refit (BANANAS-style).
+
+    The strategy never pays full tuning cost for the bulk of the space.
+    It seeds an online ridge surrogate (:mod:`repro.core.predictor`) with
+    the per-layer baselines plus a few random candidates, then loops:
+    *predict* the latency of every still-untuned candidate pair from its
+    encoding, *tune* only the ``top_k`` pairs with the best predicted
+    speedup over their layer's baseline, *observe* the real latencies
+    (streamed back through the engine's ``tune_result`` events) and
+    refit.  Until the predictor's cold-start threshold is met the
+    selection falls back to random candidates — the surrogate guides the
+    search as soon as it is trustworthy, never before.
+
+    The final configuration is assembled greedily from candidates with
+    *measured* latencies only (per-layer and network Fisher checks, as
+    in the ``greedy`` strategy), so the reported result never rests on a
+    prediction.  ``SearchStatistics`` gains ``predictor_mae`` (verified
+    relative error) and ``evaluations_saved`` (candidate pairs screened
+    by the surrogate instead of the tuner).
+    """
+
+    def run(self, search: "UnifiedSearch", context: _SearchContext):
+        predictor = search._predictor()
+        try:
+            return self._run(search, context, predictor)
+        finally:
+            context.statistics.predictor_mae = (
+                predictor.statistics.mean_absolute_error)
+
+    #: fraction of the configuration budget spent on real tunings; the
+    #: rest of the space is screened by the surrogate (DESIGN.md §10).
+    tune_fraction = 3
+
+    def _run(self, search: "UnifiedSearch", context: _SearchContext,
+             predictor) -> tuple[dict[str, TransformProgram] | None, float]:
+        # The configuration budget bounds candidates *considered*; real
+        # tunings are deliberately a fraction of it — the surrogate
+        # screens the rest.  Small budgets tune everything they can.
+        budget = min(search.configurations,
+                     max(2 * predictor.min_observations,
+                         search.configurations // self.tune_fraction))
+        baselines = _shape_baselines(context)
+        # References first: every later observation/prediction for these
+        # shapes is then modelled as a ratio to its measured baseline.
+        for shape, seconds in baselines.items():
+            predictor.set_reference(shape, seconds)
+        for shape, seconds in baselines.items():
+            predictor.observe(shape, context.standard, seconds,
+                              trials=context.engine.tuner_trials)
+        pairs = _candidate_pairs(context)
+        # Fisher pre-filter (stage 2 of the staged legality, run before
+        # any tuner trial): a candidate pair is only worth tuning when at
+        # least one layer of its shape would accept the substitution.
+        # Scores are memoised by the oracle, so the selection pass below
+        # re-reads them for free.
+        layers_by_shape: dict[ConvolutionShape, list[LayerWorkload]] = {}
+        for workload in context.workloads:
+            layers_by_shape.setdefault(context.shapes[workload.name],
+                                       []).append(workload)
+        untuned = []
+        for shape, sequence in pairs:
+            if not sequence.is_neural:
+                untuned.append((shape, sequence))
+                continue
+            feasible = False
+            for workload in layers_by_shape[shape]:
+                score = context.fisher.candidate_fisher(workload, sequence)
+                if (np.isfinite(score) and score >= search.fisher_threshold
+                        * context.profile.score_of(workload.name)):
+                    feasible = True
+                    break
+            if feasible:
+                untuned.append((shape, sequence))
+            else:
+                # A rejection is an evaluation the Fisher check consumed
+                # (greedy counts the same way), keeping rejection_rate <= 1.
+                context.statistics.configurations_evaluated += 1
+                context.statistics.configurations_rejected += 1
+                context.statistics.record_fisher_rejection(sequence)
+        # Insertion-ordered on purpose: set iteration order would depend
+        # on string hashing and break run-to-run reproducibility.
+        tuned: dict[tuple[ConvolutionShape, TransformProgram], None] = {}
+
+        def tune_batch(batch) -> None:
+            if not batch:
+                return
+            latencies = context.engine.tune_many(batch)
+            # Feed the surrogate directly from the batch results, in
+            # batch order, rather than through the engine's tune_result
+            # events: events fire for cache misses only, so on a warm
+            # engine (repeated seeds, shared sessions, REPRO_CACHE_DIR)
+            # the direct path keeps the observation stream — and hence
+            # the whole trajectory — identical to the cold run.  The
+            # event stream remains how an externally attach()ed predictor
+            # learns across searches.
+            for (shape, program), seconds in zip(batch, latencies):
+                predictor.observe(shape, program, seconds,
+                                  trials=context.engine.tuner_trials)
+            tuned.update(dict.fromkeys(batch))
+            batch_keys = set(batch)
+            untuned[:] = [pair for pair in untuned if pair not in batch_keys]
+            context.statistics.configurations_evaluated += len(batch)
+            context.statistics.full_tunings += len(batch)
+
+        def spent() -> int:
+            # The tuning budget is spent by tunings alone; prefilter and
+            # selection rejections count as evaluations but not spend.
+            return context.statistics.full_tunings
+
+        # Seed the surrogate with a few random candidates (beyond the
+        # baselines) so it sees transformed programs, not just standard.
+        init = min(budget, len(untuned), max(2, budget // 6))
+        if init > 0:
+            picks = context.rng.permutation(len(untuned))[:init]
+            tune_batch([untuned[int(index)] for index in sorted(picks)])
+
+        while untuned and spent() < budget:
+            remaining = budget - spent()
+            if predictor.fit():
+                search._emit("predictor_fitted",
+                             observations=predictor.statistics.observations,
+                             mae=predictor.statistics.mean_absolute_error)
+            if predictor.ready:
+                predicted = predictor.predict_batch(
+                    untuned, trials=context.engine.tuner_trials)
+                # Rank by predicted latency relative to the pair's own
+                # baseline (its predicted speedup), then take at most one
+                # candidate per shape this round: every layer gets its
+                # predicted-best candidate tuned before any layer gets a
+                # second, so a few deep-speedup layers cannot starve the
+                # rest of the network.  Refit between rounds.
+                gain = np.array([baselines[shape] for shape, _ in untuned])
+                order = []
+                shapes_this_round: set[ConvolutionShape] = set()
+                for index in np.argsort(predicted / gain):
+                    shape = untuned[int(index)][0]
+                    if shape in shapes_this_round:
+                        continue
+                    shapes_this_round.add(shape)
+                    order.append(int(index))
+                    if len(order) >= remaining:
+                        break
+            else:
+                # Cold start: the surrogate is not trustworthy yet, fall
+                # back to random exploration — but only for as many
+                # tunings as the cold-start shortfall needs, so the
+                # rounds after warm-up are still surrogate-guided.
+                shortfall = max(1, predictor.min_observations
+                                - predictor.statistics.observations)
+                order = [int(index) for index in
+                         context.rng.permutation(len(untuned))
+                         [:min(remaining, shortfall)]]
+            tune_batch([untuned[index] for index in sorted(order)])
+
+        context.statistics.evaluations_saved += len(untuned)
+        assignment = self._select(search, context, tuned)
+        return assignment, search._assignment_latency(context, assignment)
+
+    @staticmethod
+    def _select(search: "UnifiedSearch", context: _SearchContext,
+                tuned: dict) -> dict[str, TransformProgram]:
+        """Greedy Fisher-checked selection over *measured* candidates only.
+
+        Tuned candidates are pooled per shape: a program proposed (and
+        tuned) for one layer is a legal citizen of the open space for
+        every other layer of the same shape, so sharing the pool lets a
+        small tuning budget serve the whole network.
+        """
+        pool: dict[ConvolutionShape, list[TransformProgram]] = {}
+        for shape, sequence in tuned:
+            pool.setdefault(shape, []).append(sequence)
+        assignment = {w.name: context.standard for w in context.workloads}
+        replacements: dict[str, float] = {}
+        ordered = sorted(context.workloads,
+                         key=lambda w: context.baseline_latency[w.name],
+                         reverse=True)
+        for workload in ordered:
+            shape = context.shapes[workload.name]
+            measured = [context.standard] + pool.get(shape, [])
+            measured.sort(key=lambda seq: search._layer_latency(
+                context, workload.name, seq))
+            original_score = context.profile.score_of(workload.name)
+            for sequence in measured:
+                score = search._layer_fisher(context, workload, sequence)
+                if not np.isfinite(score):
+                    context.statistics.configurations_evaluated += 1
+                    context.statistics.configurations_rejected += 1
+                    context.statistics.record_fisher_rejection(sequence)
+                    continue
+                if (sequence.is_neural
+                        and score < search.fisher_threshold * original_score):
+                    context.statistics.configurations_evaluated += 1
+                    context.statistics.configurations_rejected += 1
+                    context.statistics.record_fisher_rejection(sequence)
+                    continue
+                trial = dict(replacements)
+                if sequence.is_neural:
+                    trial[workload.name] = score
+                if context.checker.check_layer_scores(trial).legal:
+                    assignment[workload.name] = sequence
+                    replacements = trial
+                    break
+                context.statistics.configurations_evaluated += 1
+                context.statistics.configurations_rejected += 1
+                context.statistics.record_rejection("fisher")
+        return assignment
+
+
+@register_strategy("hyperband")
+class SuccessiveHalvingStrategy:
+    """Successive halving over the tuner-trial fidelity axis (Hyperband-style).
+
+    The engine's ``trials`` knob is a fidelity: tuning a candidate at a
+    fraction of the trial budget costs proportionally less and still
+    ranks candidates roughly correctly.  Following the asynchronous
+    multi-fidelity schedulers (DeepHyper, Hyperband), the strategy
+    samples a population of legal configurations, evaluates them all at
+    the *lowest* rung of a trial ladder (``trials / eta**r`` up to the
+    engine's full budget), keeps the best ``1/eta`` fraction per rung
+    and promotes only the survivors to the next fidelity — so full-trial
+    tuning is spent on the handful of configurations that earned it.
+    Configurations eliminated below the top rung are counted in
+    ``SearchStatistics.evaluations_saved``.
+
+    Low-fidelity entries are cached under their own ``trials`` key, so
+    they never contaminate full-fidelity results.
+    """
+
+    #: promotion base: keep ``ceil(n / eta)`` configurations per rung.
+    eta = 3
+
+    def run(self, search: "UnifiedSearch", context: _SearchContext):
+        budget = search.configurations
+        full_trials = context.engine.tuner_trials
+        ladder = self._ladder(full_trials)
+        population = max(self.eta, budget // len(ladder))
+        seeds: list[dict[str, TransformProgram]] = []
+        while (len(seeds) < population
+               and context.statistics.configurations_evaluated < budget):
+            assignment = search.space.sample_assignment(
+                context.shapes, context.candidates, context.rng)
+            if search._assignment_legal(context, assignment):
+                seeds.append(assignment)
+        if not seeds:
+            return None, float("inf")
+
+        survivors = seeds
+        for rung, trials in enumerate(ladder):
+            items = [(context.shapes[w.name], assignment[w.name])
+                     for assignment in survivors for w in context.workloads]
+            context.engine.tune_many(items, trials=trials)
+            if trials == full_trials:
+                context.statistics.full_tunings += len(
+                    {(shape, program) for shape, program in items
+                     if program != context.standard})
+            scored = sorted(
+                (sum(context.engine.cached_latency(context.shapes[w.name],
+                                                   assignment[w.name],
+                                                   trials=trials)
+                     for w in context.workloads), index)
+                for index, assignment in enumerate(survivors))
+            keep = (len(survivors) if trials == full_trials
+                    else max(1, -(-len(survivors) // self.eta)))
+            search._emit("fidelity_promotion", rung=rung, trials=trials,
+                         candidates=len(survivors), survivors=keep)
+            survivors = [survivors[index] for _, index in scored[:keep]]
+        context.statistics.evaluations_saved += len(seeds) - len(survivors)
+
+        best_assignment, best_latency = None, float("inf")
+        for assignment in survivors:
+            latency = search._assignment_latency(context, assignment)
+            if latency < best_latency:
+                best_assignment, best_latency = assignment, latency
+        return best_assignment, best_latency
+
+    def _ladder(self, full_trials: int) -> list[int]:
+        """Ascending trial rungs ending at the engine's full budget.
+
+        The promotion rule documented in DESIGN.md §10: rung ``r`` (from
+        the top) runs at ``ceil(full / eta**r)`` trials, duplicates are
+        collapsed, and the top rung is always the full budget.
+        """
+        rungs = sorted({max(1, -(-full_trials // self.eta ** power))
+                        for power in range(2, -1, -1)} | {full_trials})
+        return [trials for trials in rungs if trials <= full_trials]
+
+
 #: Names of the built-in strategies (kept for backwards compatibility and
 #: test parametrisation; the registry is the source of truth).
 SEARCH_STRATEGIES = tuple(SEARCH_STRATEGY_REGISTRY)
 
 
 class UnifiedSearch:
-    """Joint search over neural and program transformations."""
+    """Joint search over neural and program transformations.
+
+    Example::
+
+        search = UnifiedSearch(get_platform("cpu"), configurations=100,
+                               strategy="model_guided", seed=0)
+        result = search.search(model, images, labels, (3, 32, 32))
+        optimized = search.materialize(model, result)
+    """
 
     def __init__(self, platform: PlatformSpec, *, configurations: int = 100,
                  tuner_trials: int = 8, fisher_threshold: float = 1.0,
                  strategy: str = "greedy",
                  space: UnifiedSpaceConfig | None = None, seed: int | None = None,
                  engine: EvaluationEngine | None = None,
-                 observer: Observer | None = None):
+                 observer: Observer | None = None,
+                 predictor: LatencyPredictor | None = None):
         if configurations < 1:
             raise SearchError("the search needs at least one configuration")
         get_strategy(strategy)  # fail fast on unknown names
@@ -421,6 +765,16 @@ class UnifiedSearch:
         self.engine = engine or EvaluationEngine(platform, tuner_trials=tuner_trials,
                                                  seed=seed)
         self.tuner_trials = self.engine.tuner_trials
+        # The latency surrogate of the model_guided strategy.  Callers may
+        # pass a warm predictor to reuse its observations across searches;
+        # otherwise one is created on first use and kept for inspection.
+        self.predictor = predictor
+
+    def _predictor(self) -> LatencyPredictor:
+        """The search's latency surrogate (created on first use)."""
+        if self.predictor is None:
+            self.predictor = LatencyPredictor(seed=self.seed)
+        return self.predictor
 
     # ------------------------------------------------------------------
     def _emit(self, kind: str, **data) -> None:

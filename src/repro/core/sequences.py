@@ -40,7 +40,13 @@ SEQUENCE_KINDS = (
 def predefined_program(kind: str = "standard", *, group: int = 2,
                        group_second: int = 4, bottleneck: int = 2,
                        spatial: int = 2, unroll: int = 16) -> TransformProgram:
-    """The named sequence ``kind`` as an explicit transform program."""
+    """The named sequence ``kind`` as an explicit transform program.
+
+    Example::
+
+        standard = predefined_program("standard")
+        grouped = predefined_program("group", group=4)
+    """
     if kind not in SEQUENCE_KINDS:
         raise TransformError(f"unknown sequence kind '{kind}'")
     steps: tuple = ()

@@ -60,7 +60,13 @@ def primitive_catalogue() -> list[tuple[str, str, str]]:
 
 @dataclass(frozen=True)
 class UnifiedSpaceConfig:
-    """Candidate-generation policy for the unified search."""
+    """Candidate-generation policy for the unified search.
+
+    Example::
+
+        search = UnifiedSearch(platform, space=UnifiedSpaceConfig(
+            neural_probability=0.5, random_compositions_per_layer=4, seed=7))
+    """
 
     #: probability of proposing a neural sequence (vs program-only) per layer
     neural_probability: float = 0.75

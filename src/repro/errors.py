@@ -8,7 +8,15 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Example::
+
+        try:
+            repro.optimize("resnet34", platform="tpu")
+        except repro.ReproError as error:
+            print(f"error: {error}")
+    """
 
 
 class ShapeError(ReproError):

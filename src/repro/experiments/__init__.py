@@ -12,6 +12,7 @@ Module                      Regenerates
 ``fig8_imagenet``           Figure 8 (ImageNet accuracy vs inference time)
 ``fig9_interpolation``      Figure 9 (interpolating between NAS models)
 ``analysis_search``         §7.2 accuracy / size / search-time analysis
+``analysis_predictor``      predictor-guided search vs. classic strategies
 ``deploy_study``            §1 deployment study (one network, four targets)
 ==========================  =================================================
 
@@ -23,6 +24,7 @@ rows/series the paper reports.
 """
 
 from repro.experiments import (  # noqa: F401
+    analysis_predictor,
     analysis_search,
     deploy_study,
     fig3_fisher_filter,
@@ -46,6 +48,7 @@ from repro.experiments.registry import (
 )
 
 __all__ = [
+    "analysis_predictor",
     "analysis_search", "deploy_study", "fig3_fisher_filter", "fig4_end_to_end",
     "fig5_sequence_frequency", "fig6_layerwise", "fig7_fbnet", "fig8_imagenet",
     "fig9_interpolation", "table1_primitives", "ExperimentScale", "get_scale",

@@ -101,6 +101,9 @@ def to_payload(result: DeployResult) -> dict:
              "speedups": panel.speedups(),
              "rejection_rate": (panel.search_result.statistics.rejection_rate
                                 if panel.search_result else 0.0),
+             "rejections_by_primitive": dict(
+                 panel.search_result.statistics.rejections_by_primitive
+                 if panel.search_result else {}),
              "chosen_sequences": dict(result.chosen_sequences(platform, top=10))}
             for platform, panel in result.panels.items()
         ],

@@ -85,6 +85,14 @@ def to_payload(result: Fig4Result) -> dict:
                 "parameters": {"TVM": panel.tvm.parameters,
                                "NAS": panel.nas.parameters,
                                "Ours": panel.ours.parameters},
+                # Rejection accounting rides along per panel so --json
+                # output differentiates *why* candidates died, not just
+                # the headline speedups.
+                "rejection_rate": (panel.search_result.statistics.rejection_rate
+                                   if panel.search_result else 0.0),
+                "rejections_by_primitive": dict(
+                    panel.search_result.statistics.rejections_by_primitive
+                    if panel.search_result else {}),
             }
             for (network, platform), panel in result.panels.items()
         ],

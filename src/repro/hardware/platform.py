@@ -18,7 +18,13 @@ from repro.errors import PlatformError
 
 @dataclass(frozen=True)
 class PlatformSpec:
-    """Parameters of one deployment target."""
+    """Parameters of one deployment target.
+
+    Example::
+
+        spec = get_platform("mgpu")
+        print(spec.peak_gflops, spec.dram_bandwidth_gbs)
+    """
 
     name: str
     kind: str                      # "cpu" or "gpu"
@@ -94,7 +100,12 @@ PLATFORMS: dict[str, PlatformSpec] = {
 
 
 def get_platform(name: str) -> PlatformSpec:
-    """Look a platform up by its Figure-4 name (cpu / gpu / mcpu / mgpu)."""
+    """Look a platform up by its Figure-4 name (cpu / gpu / mcpu / mgpu).
+
+    Example::
+
+        platform = get_platform("cpu")
+    """
     try:
         return PLATFORMS[name.lower()]
     except KeyError as exc:

@@ -73,7 +73,14 @@ class Statement:
 
 @dataclass(frozen=True)
 class ConvolutionShape:
-    """Extents of the standard tensor-convolution loop nest."""
+    """Extents of the standard tensor-convolution loop nest.
+
+    Example::
+
+        shape = ConvolutionShape(c_out=64, c_in=64, h_out=16, w_out=16,
+                                 k_h=3, k_w=3)
+        print(shape.macs())
+    """
 
     c_out: int
     c_in: int

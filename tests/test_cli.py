@@ -22,17 +22,17 @@ def run_cli(capsys, *argv: str) -> str:
 
 
 class TestExperiments:
-    def test_lists_all_ten(self, capsys):
+    def test_lists_all_eleven(self, capsys):
         out = run_cli(capsys, "experiments")
         names = ("table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-                 "fig9", "analysis", "deploy")
+                 "fig9", "analysis", "analysis_predictor", "deploy")
         for name in names:
             assert name in out
-        assert "10 registered experiments" in out
+        assert "11 registered experiments" in out
 
     def test_json_listing(self, capsys):
         listing = json.loads(run_cli(capsys, "experiments", "--json"))
-        assert len(listing) == 10
+        assert len(listing) == 11
         assert {entry["name"] for entry in listing} >= {"fig4", "table1"}
         assert all("title" in entry and "scales" in entry for entry in listing)
 

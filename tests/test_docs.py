@@ -1,0 +1,100 @@
+"""Documentation contract tests.
+
+Three promises the repository makes are enforced here:
+
+1. every name on the public ``__all__`` surface (``repro`` and
+   ``repro.api``) carries a non-trivial, example-bearing docstring;
+2. README.md exists, its intra-repo links (and DESIGN.md's) resolve, and
+   its quickstart snippet at least compiles — CI's docs job additionally
+   *executes* the snippet via ``tools/check_docs.py``;
+3. the README documents every registered experiment and CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import inspect
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.api
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO_ROOT / "tools" / "check_docs.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+check_docs = _load_check_docs()
+
+
+def _documented_names():
+    for module in (repro, repro.api):
+        for name in module.__all__:
+            obj = getattr(module, name)
+            # Only classes and functions carry docstrings; constants
+            # (``__version__``, ``MODEL_BUILDERS``, schema tags) and
+            # typing aliases (``Observer``) are documented at their
+            # assignment site instead.
+            if inspect.isclass(obj) or inspect.isroutine(obj):
+                yield f"{module.__name__}.{name}", obj
+
+
+class TestDocstringAudit:
+    @pytest.mark.parametrize("qualified,obj", list(_documented_names()),
+                             ids=[name for name, _ in _documented_names()])
+    def test_exported_name_has_example_bearing_docstring(self, qualified, obj):
+        doc = inspect.getdoc(obj) or ""
+        assert len(doc.strip()) >= 40, (
+            f"{qualified} needs a real docstring (got {len(doc.strip())} chars)")
+        assert "::" in doc or ">>>" in doc, (
+            f"{qualified}'s docstring must carry an example "
+            f"(a `::` literal block or a `>>>` doctest)")
+
+    def test_all_names_resolve(self):
+        for module in (repro, repro.api):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (
+                    f"{module.__name__}.__all__ names '{name}' "
+                    f"but it does not resolve")
+
+
+class TestReadme:
+    def test_readme_exists_with_required_sections(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for heading in ("## Install", "## Quickstart", "## Command line",
+                        "## Experiments"):
+            assert heading in readme, f"README.md is missing '{heading}'"
+
+    def test_intra_repo_links_resolve(self):
+        problems = check_docs.check_links(REPO_ROOT)
+        assert not problems, "\n".join(problems)
+
+    def test_quickstart_snippet_compiles(self):
+        """CI executes the snippet; the tier-1 suite pins that it parses
+        and starts with the documented import."""
+        snippet = check_docs.quickstart_snippet(REPO_ROOT)
+        compile(snippet, "README.md:quickstart", "exec")
+        assert snippet.lstrip().startswith("import repro")
+
+    def test_readme_covers_every_experiment(self):
+        from repro.experiments.registry import experiment_names
+
+        readme = (REPO_ROOT / "README.md").read_text()
+        for name in experiment_names():
+            assert f"`{name}`" in readme, (
+                f"README.md experiment index is missing '{name}'")
+
+    def test_readme_covers_every_cli_subcommand(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for subcommand in ("run", "optimize", "tune", "platforms",
+                           "experiments", "cache"):
+            assert f"repro {subcommand}" in readme, (
+                f"README.md CLI table is missing 'repro {subcommand}'")

@@ -7,6 +7,7 @@ import pytest
 from repro.core.pipeline import PipelineScale
 from repro.experiments import (
     ExperimentScale,
+    analysis_predictor,
     analysis_search,
     deploy_study,
     experiment_names,
@@ -137,12 +138,62 @@ class TestDeployStudy:
         assert result.best_platform_for_ours() == "cpu"
         assert "Deployment study" in deploy_study.format_report(result)
 
+    def test_payload_serializes_rejection_accounting(self, tiny_scale):
+        """--json output must capture rejections_by_primitive per target."""
+        import json
+
+        result = deploy_study.run(tiny_scale, seed=0, network="ResNet-34",
+                                  platforms=("cpu",))
+        payload = json.loads(json.dumps(deploy_study.to_payload(result)))
+        row = payload["platforms"][0]
+        assert "rejections_by_primitive" in row
+        expected = result.panels["cpu"].search_result.statistics
+        assert row["rejections_by_primitive"] == {
+            key: int(value)
+            for key, value in expected.rejections_by_primitive.items()}
+
+
+class TestAnalysisPredictor:
+    def test_strategy_rows_and_reduction(self, tiny_scale):
+        result = analysis_predictor.run(
+            tiny_scale, seed=0, network="ResNet-34",
+            strategies=("evolutionary", "model_guided"))
+        assert [row.strategy for row in result.rows] == [
+            "evolutionary", "model_guided"]
+        guided = result.row("model_guided")
+        assert guided.tuned_evaluations >= 0
+        assert guided.evaluations_saved > 0
+        assert result.evaluation_reduction() >= 1.0
+        report = analysis_predictor.format_report(result)
+        assert "model_guided" in report and "fewer full-trial" in report
+
+    def test_payload_and_document(self, tiny_scale):
+        import json
+
+        run = run_experiment("analysis_predictor", scale=tiny_scale, seed=0,
+                             strategies=("random", "model_guided"))
+        document = json.loads(json.dumps(run.document()))
+        assert document["experiment"] == "analysis_predictor"
+        rows = {entry["strategy"]: entry
+                for entry in document["data"]["strategies"]}
+        assert set(rows) == {"random", "model_guided"}
+        assert "rejections_by_primitive" in rows["model_guided"]
+        # The model_guided outcome is the envelope's primary result, so
+        # the document also reads back as an OptimizationResult carrying
+        # the predictor statistics.
+        from repro.api import OptimizationResult
+
+        result = OptimizationResult.from_dict(document)
+        assert result.strategy == "model_guided"
+        assert "predictor_mae" in result.search_statistics
+        assert "evaluations_saved" in result.search_statistics
+
 
 class TestRegistry:
-    def test_all_ten_experiments_registered(self):
+    def test_all_eleven_experiments_registered(self):
         assert set(experiment_names()) == {
             "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "analysis", "deploy"}
+            "analysis", "analysis_predictor", "deploy"}
 
     def test_every_spec_is_complete(self):
         for name in experiment_names():
@@ -174,8 +225,12 @@ class TestRegistry:
         assert result.platform == "cpu"
         assert result.speedup >= 1.0
         assert len(result.layers) > 0
-        # ... while the full figure payload rides along in the envelope.
-        assert document["data"]["panels"][0]["network"] == "ResNet-34"
+        # ... while the full figure payload rides along in the envelope,
+        # including the per-panel rejection accounting.
+        panel = document["data"]["panels"][0]
+        assert panel["network"] == "ResNet-34"
+        assert "rejections_by_primitive" in panel
+        assert "rejection_rate" in panel
 
     def test_unknown_names_and_options_fail_fast(self, tiny_scale):
         with pytest.raises(Exception, match="unknown experiment"):
@@ -192,7 +247,7 @@ class TestRegistry:
         package_dir = pathlib.Path(experiments.__file__).parent
         drivers = [path for path in package_dir.glob("*.py")
                    if path.name not in ("__init__.py", "common.py", "registry.py")]
-        assert len(drivers) == 10
+        assert len(drivers) == 11
         for path in drivers:
             text = path.read_text()
             assert 'if __name__ == "__main__"' in text, path.name

@@ -1,0 +1,116 @@
+"""Documentation checks: executable README quickstart + intra-repo links.
+
+Run from the repository root (CI's docs job does):
+
+    python tools/check_docs.py            # link check + run the quickstart
+    python tools/check_docs.py --no-run   # link check + compile only
+
+Checks performed:
+
+1. every relative markdown link in README.md and DESIGN.md points at an
+   existing file, and every ``#anchor`` matches a heading of the target
+   (GitHub-style slugs);
+2. README.md contains at least one ```python code block, and the first
+   one — the quickstart — executes verbatim with the repository's
+   ``src`` on ``sys.path`` (or at least compiles, with ``--no-run``).
+
+The functions are import-friendly so ``tests/test_docs.py`` reuses them.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown files whose links must resolve.
+LINKED_DOCS = ("README.md", "DESIGN.md")
+
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug of one markdown heading."""
+    text = heading.strip().lower().replace("`", "")
+    text = re.sub(r"[^\w\s-]", "", text)
+    return re.sub(r"\s", "-", text)
+
+
+def heading_slugs(markdown: str) -> set[str]:
+    return {slugify(match) for match in _HEADING.findall(markdown)}
+
+
+def check_links(root: Path = REPO_ROOT,
+                documents: tuple[str, ...] = LINKED_DOCS) -> list[str]:
+    """Return a list of broken-link descriptions (empty = all good)."""
+    problems: list[str] = []
+    for name in documents:
+        source = root / name
+        text = source.read_text()
+        for target in _LINK.findall(text):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            path_part, _, anchor = target.partition("#")
+            target_path = (source.parent / path_part if path_part
+                           else source)
+            if not target_path.exists():
+                problems.append(f"{name}: link target '{target}' does not exist")
+                continue
+            if anchor and target_path.suffix == ".md":
+                if anchor not in heading_slugs(target_path.read_text()):
+                    problems.append(
+                        f"{name}: anchor '#{anchor}' not found in "
+                        f"{target_path.name}")
+    return problems
+
+
+def quickstart_snippet(root: Path = REPO_ROOT) -> str:
+    """The README's first ```python block (the quickstart), verbatim."""
+    readme = (root / "README.md").read_text()
+    blocks = _CODE_BLOCK.findall(readme)
+    if not blocks:
+        raise SystemExit("README.md has no ```python code block")
+    return blocks[0]
+
+
+def run_quickstart(root: Path = REPO_ROOT, execute: bool = True) -> None:
+    """Compile — and by default execute — the README quickstart."""
+    snippet = quickstart_snippet(root)
+    compile(snippet, "README.md:quickstart", "exec")
+    if not execute:
+        return
+    import os
+
+    env = dict(os.environ)
+    src = str(root / "src")
+    env["PYTHONPATH"] = src + (os.pathsep + env["PYTHONPATH"]
+                               if env.get("PYTHONPATH") else "")
+    result = subprocess.run([sys.executable, "-"], input=snippet.encode(),
+                            env=env, cwd=root, capture_output=True)
+    if result.returncode != 0:
+        raise SystemExit(
+            f"README quickstart failed ({result.returncode}):\n"
+            f"{result.stdout.decode()}\n{result.stderr.decode()}")
+    sys.stdout.write(result.stdout.decode())
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    problems = check_links()
+    for problem in problems:
+        print(f"broken link: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    run_quickstart(execute="--no-run" not in argv)
+    print("docs ok: links resolve, quickstart "
+          + ("ran" if "--no-run" not in argv else "compiled"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
