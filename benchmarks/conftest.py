@@ -13,7 +13,9 @@ of the conclusions are what is being checked (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -51,3 +53,42 @@ def bench_scale() -> ExperimentScale:
 @pytest.fixture(scope="session")
 def scale() -> ExperimentScale:
     return bench_scale()
+
+
+@pytest.fixture
+def perf_record(request):
+    """Write a machine-readable ``BENCH_<name>.json`` perf record.
+
+    Benchmarks call the returned function with their headline quantities;
+    the record lands in ``REPRO_BENCH_RECORDS`` (default: the working
+    directory) where CI uploads it as an artifact, so the perf trajectory
+    is tracked across PRs instead of scrolling by in a log.
+
+    Example::
+
+        perf_record(wall_seconds=1.2, configurations=96, trials=384,
+                    speedup=3.4)
+    """
+
+    def write(*, wall_seconds: float, configurations: int | None = None,
+              trials: int | None = None, **extra) -> Path:
+        name = request.node.name
+        record: dict = {
+            "benchmark": name,
+            "wall_seconds": wall_seconds,
+            "quick_mode": bool(os.environ.get("REPRO_BENCH_QUICK")),
+        }
+        if configurations is not None:
+            record["configurations"] = configurations
+            record["configurations_per_second"] = configurations / wall_seconds
+        if trials is not None:
+            record["trials"] = trials
+            record["trials_per_second"] = trials / wall_seconds
+        record.update(extra)
+        directory = Path(os.environ.get("REPRO_BENCH_RECORDS", "."))
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{name}.json"
+        path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        return path
+
+    return write

@@ -285,6 +285,8 @@ def _cmd_cache(args) -> int:
         print(f"removed {len(stores)} engine cache store(s)")
         return 0
     if args.cache_command == "info":
+        from repro.core.compile_cache import COMPILE_CACHE
+
         stores = _cache_stores(args.cache_dir)
         rows = []
         for store in stores:
@@ -297,16 +299,22 @@ def _cmd_cache(args) -> int:
                 entries, version = -1, None
             rows.append({"path": str(store), "bytes": store.stat().st_size,
                          "entries": entries, "format_version": version})
+        compile_info = COMPILE_CACHE.info()
         if getattr(args, "json", False):
-            print(json.dumps(rows, indent=2))
+            print(json.dumps({"stores": rows, "compile_cache": compile_info},
+                             indent=2))
             return 0
         if not rows:
             print("no engine cache stores found")
-            return 0
         for row in rows:
             entries = "unreadable" if row["entries"] < 0 else f"{row['entries']} entries"
             print(f"{row['path']}  {row['bytes']} bytes  {entries} "
                   f"(format v{row['format_version']})")
+        print(f"compile cache (this process): "
+              f"{compile_info['entries']}/{compile_info['max_entries']} entries  "
+              f"{compile_info['compile_hits']} hits  "
+              f"{compile_info['compile_misses']} misses  "
+              f"{compile_info['prefix_depth_saved']} steps saved by prefixes")
         return 0
     print("usage: repro cache {info,clear} [--cache-dir DIR]", file=sys.stderr)
     return 2

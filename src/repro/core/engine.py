@@ -44,6 +44,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.compile_cache import COMPILE_CACHE, CompileCacheStatistics
 from repro.core.events import Observable
 from repro.core.program import LegalityReport, TransformProgram
 from repro.core.sequences import predefined_program
@@ -80,6 +81,11 @@ class EngineStatistics:
     loaded_entries: int = 0
     prescreen_checks: int = 0
     prescreen_rejections: int = 0
+    #: compile-trie counters when these statistics were created; the
+    #: ``compile_*`` properties report increments since then, scoping the
+    #: process-global trie's traffic to this engine's lifetime.
+    compile_baseline: CompileCacheStatistics = field(
+        default_factory=lambda: COMPILE_CACHE.statistics.snapshot(), repr=False)
 
     @property
     def latency_queries(self) -> int:
@@ -94,6 +100,27 @@ class EngineStatistics:
     def fisher_hit_rate(self) -> float:
         queries = self.fisher_hits + self.fisher_misses
         return self.fisher_hits / queries if queries else 0.0
+
+    # -- compile-trie traffic since these statistics were created --------
+    @property
+    def _compile_delta(self) -> CompileCacheStatistics:
+        return COMPILE_CACHE.statistics.delta(self.compile_baseline)
+
+    @property
+    def compile_hits(self) -> int:
+        return max(0, self._compile_delta.compile_hits)
+
+    @property
+    def compile_misses(self) -> int:
+        return max(0, self._compile_delta.compile_misses)
+
+    @property
+    def prefix_depth_saved(self) -> int:
+        return max(0, self._compile_delta.prefix_depth_saved)
+
+    @property
+    def compile_cache_size(self) -> int:
+        return len(COMPILE_CACHE)
 
 
 def _tune_entry(args: tuple[PlatformSpec, ConvolutionShape, TransformProgram, int, int],
@@ -156,6 +183,23 @@ class FisherOracle:
         self._cache[key] = score
         return score
 
+    def candidate_fisher_many(self, items: Iterable[tuple[LayerWorkload,
+                                                          TransformProgram]],
+                              ) -> list[float]:
+        """Batch form of :meth:`candidate_fisher`: one call per generation.
+
+        Every score is a pure, memoised function of ``(workload.name,
+        program)`` — neural candidates are instantiated from a fresh
+        engine-seeded RNG — so evaluating a whole generation through one
+        call returns exactly the per-candidate results with exactly the
+        sequential hit/miss accounting.  The strategies use this to
+        prefetch a generation's scores (and, behind them, the compile
+        trie's shared prefixes) in one oracle round-trip instead of
+        per-candidate calls scattered through their control flow.
+        """
+        return [self.candidate_fisher(workload, program)
+                for workload, program in items]
+
 
 class EvaluationEngine(Observable):
     """Shared latency / Fisher oracles with a persistent cross-search cache.
@@ -217,6 +261,14 @@ class EvaluationEngine(Observable):
 
         Created lazily on first use and reused across :meth:`tune_many`
         calls until :meth:`close`.
+
+        Process workers start with cold module-level caches (compile
+        trie, shared tuning contexts) — deliberately so: shipping a warm
+        snapshot would pickle the parent's whole trie per batch, while
+        the persistent pool means each worker pays the cold cost once on
+        its first generation and stays warm for the rest of the search.
+        Results are unaffected either way (every cache entry equals its
+        recomputation); only first-batch wall clock differs.
         """
         key = (parallel, max_workers)
         pool = self._pools.get(key)
@@ -230,9 +282,15 @@ class EvaluationEngine(Observable):
         return pool
 
     def close(self) -> None:
-        """Shut down the persistent executor pools (idempotent)."""
-        pools, self._pools = self._pools, {}
-        for pool in pools.values():
+        """Shut down the persistent executor pools (idempotent).
+
+        Safe from ``__del__`` during interpreter shutdown: an engine whose
+        constructor raised before the pool table existed is a no-op, and
+        repeated calls never double-shutdown a pool.
+        """
+        pools = getattr(self, "_pools", None)
+        self._pools = {}
+        for pool in (pools or {}).values():
             pool.shutdown()
 
     def __enter__(self) -> "EvaluationEngine":

@@ -31,6 +31,8 @@ and cached for — many convolution shapes).
 
 from __future__ import annotations
 
+import hashlib
+import sys
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Iterable
@@ -77,6 +79,22 @@ class PrimitiveApplication:
         suffix = f"@{self.nest}" if self.nest is not None else ""
         return f"{self.primitive}({rendered}){suffix}"
 
+    def content_hash(self) -> str:
+        """Stable digest of this step's content (the compile-trie key unit).
+
+        Depends on everything that affects the step's compile semantics —
+        primitive name, canonicalised params, nest selector, optional flag
+        — and on nothing else, so equal steps hash equally across
+        processes and sessions (``repr`` of the frozen param values is
+        deterministic; no ``PYTHONHASHSEED`` dependence).
+        """
+        cached = self.__dict__.get("_content_hash")
+        if cached is None:
+            payload = repr((self.primitive, self.params, self.nest, self.optional))
+            cached = hashlib.sha1(payload.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_content_hash", cached)
+        return cached
+
 
 def step(primitive: str, *, nest: int | None = None, optional: bool = False,
          **params) -> PrimitiveApplication:
@@ -116,6 +134,22 @@ class ProgramState:
         else:
             initial = create_schedule(conv2d_compute(shape, name=name))
         self.stages: list[Stage] = [initial]
+
+    @classmethod
+    def resume(cls, shape: ConvolutionShape, stages: list[Stage],
+               name: str = "program") -> "ProgramState":
+        """Rebuild a state from a compile-trie snapshot without re-deriving
+        the initial nest; ``stages`` must be private (cloned) copies."""
+        state = cls.__new__(cls)
+        state.shape = shape
+        state.name = name
+        state.stages = list(stages)
+        return state
+
+    def clone(self) -> "ProgramState":
+        """An independent copy (stages cloned, see :meth:`Stage.clone`)."""
+        return ProgramState.resume(
+            self.shape, [stage.clone() for stage in self.stages], name=self.name)
 
     @property
     def pristine(self) -> bool:
@@ -166,11 +200,22 @@ PRIMITIVE_REGISTRY: dict[str, "Primitive"] = {}
 
 
 def register_primitive(cls):
-    """Class decorator registering a :class:`Primitive` singleton by name."""
+    """Class decorator registering a :class:`Primitive` singleton by name.
+
+    Registering a primitive is the one event that can change compile
+    semantics mid-process (a previously unknown step name becomes
+    applicable), so it invalidates the compile trie.
+    """
     instance = cls()
     if instance.name in PRIMITIVE_REGISTRY:
         raise TransformError(f"primitive '{instance.name}' is already registered")
     PRIMITIVE_REGISTRY[instance.name] = instance
+    # sys.modules guard rather than an import: the built-in primitives
+    # register while this very module is still initialising, before the
+    # cache module could be imported.
+    cache_module = sys.modules.get("repro.core.compile_cache")
+    if cache_module is not None:
+        cache_module.invalidate()
     return cls
 
 
@@ -538,6 +583,24 @@ class TransformProgram:
         statement rewrites with structural/dependence legality checked per
         step (stage 1 of the staged legality).  Failures raise
         :class:`LegalityError` naming the offending primitive.
+
+        Compilation is incremental: intermediate state is memoised in the
+        process-wide prefix trie (:mod:`repro.core.compile_cache`), so a
+        program sharing a step prefix with a previously compiled sibling
+        replays only the differing suffix, and a repeated compile is a
+        snapshot clone.  The returned stages are always private copies;
+        results are bit-identical to :meth:`compile_uncached` (pinned by
+        the golden tests).
+        """
+        from repro.core import compile_cache
+
+        return compile_cache.compile_program(self, shape)
+
+    def compile_uncached(self, shape: ConvolutionShape) -> list[Stage]:
+        """The from-scratch compile loop, bypassing the prefix trie.
+
+        Kept as the golden reference the incremental path is pinned
+        against (and as the fallback when the trie is disabled).
         """
         state = ProgramState(shape, name=self.name)
         for app in self.steps:

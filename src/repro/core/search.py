@@ -33,6 +33,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.core.compile_cache import COMPILE_CACHE
 from repro.core.engine import EvaluationEngine, FisherOracle
 from repro.core.events import Observer, ProgressEvent
 from repro.core.predictor import LatencyPredictor
@@ -93,6 +94,13 @@ class SearchStatistics:
     #: unique (shape, program) pairs the strategy tuned at the engine's
     #: full trial budget (excluding the per-layer baselines)
     full_tunings: int = 0
+    #: compile-trie traffic during this search (full-program snapshot hits,
+    #: compiles that replayed at least one step, and the total steps the
+    #: cached prefixes saved) — the incremental-compilation win, observable
+    #: per run rather than just asserted by the benchmark
+    compile_hits: int = 0
+    compile_misses: int = 0
+    prefix_depth_saved: int = 0
 
     @property
     def rejection_rate(self) -> float:
@@ -298,6 +306,7 @@ class RandomStrategy:
         sampled = [search.space.sample_assignment(context.shapes, context.candidates,
                                                   context.rng)
                    for _ in range(search.configurations)]
+        search._prefetch_fisher(context, sampled)
         survivors = [assignment for assignment in sampled
                      if search._assignment_legal(context, assignment)]
         search._prefetch_latencies(context, survivors)
@@ -333,15 +342,21 @@ class EvolutionaryStrategy:
         for _ in range(generations):
             population.sort(key=lambda item: item[1])
             parents = population[:max(2, population_size // 2)]
-            offspring: list[dict[str, TransformProgram]] = []
+            # Build the whole brood first (mutation consumes the RNG in the
+            # same order as the old interleaved loop), then score it with
+            # one Fisher oracle call and filter in construction order — the
+            # stream, the survivors and the statistics are unchanged.
+            brood: list[dict[str, TransformProgram]] = []
             for parent_assignment, _ in parents:
                 child = dict(parent_assignment)
                 layer = context.workloads[
                     int(context.rng.integers(0, len(context.workloads)))].name
                 options = context.candidates[layer]
                 child[layer] = options[int(context.rng.integers(0, len(options)))]
-                if search._assignment_legal(context, child):
-                    offspring.append(child)
+                brood.append(child)
+            search._prefetch_fisher(context, brood)
+            offspring = [child for child in brood
+                         if search._assignment_legal(context, child)]
             # The whole surviving generation is tuned in one submission.
             search._prefetch_latencies(context, offspring)
             children = [(child, search._assignment_latency(context, child))
@@ -492,19 +507,40 @@ class ModelGuidedStrategy:
         for workload in context.workloads:
             layers_by_shape.setdefault(context.shapes[workload.name],
                                        []).append(workload)
-        untuned = []
-        for shape, sequence in pairs:
-            if not sequence.is_neural:
-                untuned.append((shape, sequence))
-                continue
-            feasible = False
-            for workload in layers_by_shape[shape]:
-                score = context.fisher.candidate_fisher(workload, sequence)
+        # Round-based batching of the per-pair feasibility scan: round
+        # ``depth`` scores the depth-th layer of every still-undecided pair
+        # through one ``candidate_fisher_many`` call.  A pair reaches round
+        # ``depth`` exactly when its first ``depth`` layers all refused the
+        # substitution — the same condition under which the old per-pair
+        # early-break loop would have scored that layer — so the oracle
+        # sees the identical evaluation set (and hit/miss counts), one
+        # generation-sized call per round instead of per-candidate calls.
+        feasible: dict[tuple[ConvolutionShape, TransformProgram], bool] = {}
+        pending = [pair for pair in pairs if pair[1].is_neural]
+        depth = 0
+        while pending:
+            eligible = [pair for pair in pending
+                        if depth < len(layers_by_shape[pair[0]])]
+            scored = dict(zip(eligible, context.fisher.candidate_fisher_many(
+                [(layers_by_shape[shape][depth], sequence)
+                 for shape, sequence in eligible])))
+            undecided = []
+            for pair in pending:
+                if pair not in scored:
+                    feasible[pair] = False  # every layer of its shape refused
+                    continue
+                workload = layers_by_shape[pair[0]][depth]
+                score = scored[pair]
                 if (np.isfinite(score) and score >= search.fisher_threshold
                         * context.profile.score_of(workload.name)):
-                    feasible = True
-                    break
-            if feasible:
+                    feasible[pair] = True
+                else:
+                    undecided.append(pair)
+            pending = undecided
+            depth += 1
+        untuned = []
+        for shape, sequence in pairs:
+            if not sequence.is_neural or feasible[(shape, sequence)]:
                 untuned.append((shape, sequence))
             else:
                 # A rejection is an evaluation the Fisher check consumed
@@ -800,6 +836,7 @@ class UnifiedSearch:
     def _run_search(self, model, images: np.ndarray, labels: np.ndarray,
                     input_shape: tuple[int, int, int]) -> UnifiedSearchResult:
         start = time.perf_counter()
+        compile_baseline = COMPILE_CACHE.statistics.snapshot()
         rng = make_rng(self.seed)
 
         profile = fisher_profile(model, images, labels)
@@ -858,10 +895,13 @@ class UnifiedSearch:
 
         choices: dict[str, LayerChoice] = {}
         optimized_fisher = profile.total
-        for workload in workloads:
+        # One batched oracle call for the chosen configuration's scores
+        # (memoised: requests the strategy already scored are pure hits).
+        fisher_scores = context.fisher.candidate_fisher_many(
+            [(w, best_assignment[w.name]) for w in workloads])
+        for workload, fisher_score in zip(workloads, fisher_scores):
             sequence = best_assignment[workload.name]
             layer_latency = self.engine.tuned_latency(workload.shape, sequence)
-            fisher_score = context.fisher.candidate_fisher(workload, sequence)
             optimized_fisher += fisher_score - profile.score_of(workload.name)
             choices[workload.name] = LayerChoice(
                 layer=workload.name,
@@ -874,6 +914,10 @@ class UnifiedSearch:
             )
 
         statistics.search_seconds = time.perf_counter() - start
+        compile_delta = COMPILE_CACHE.statistics.delta(compile_baseline)
+        statistics.compile_hits = compile_delta.compile_hits
+        statistics.compile_misses = compile_delta.compile_misses
+        statistics.prefix_depth_saved = compile_delta.prefix_depth_saved
         self._emit("search_finished",
                    baseline_latency_seconds=total_baseline,
                    optimized_latency_seconds=best_latency,
@@ -924,6 +968,23 @@ class UnifiedSearch:
         context.engine.tune_many(
             [(context.shapes[w.name], assignment[w.name])
              for assignment in assignments for w in context.workloads])
+
+    def _prefetch_fisher(self, context: _SearchContext,
+                         assignments: list[dict[str, TransformProgram]]) -> None:
+        """Score a generation's (workload, program) pairs in one oracle call.
+
+        Fisher scores are pure, memoised functions of their keys, so the
+        :meth:`_assignment_legal` sweep that follows reads them back as
+        cache hits.  The only behavioural difference from the lazy path is
+        that pairs sitting behind an early rejection are scored too — the
+        scores are memoised for later generations either way, and none of
+        the filtering outcomes change.
+        """
+        if not assignments:
+            return
+        context.fisher.candidate_fisher_many(
+            [(w, assignment[w.name]) for assignment in assignments
+             for w in context.workloads])
 
     def _assignment_legal(self, context: _SearchContext,
                           assignment: dict[str, TransformProgram]) -> bool:

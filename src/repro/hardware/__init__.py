@@ -12,6 +12,7 @@ from repro.hardware.platform import (
 from repro.hardware.cost_model import (
     LatencyEstimate,
     estimate_dram_traffic,
+    estimate_dram_traffic_batch,
     estimate_latency,
     estimate_latency_batch,
     estimate_roofline_bound,
@@ -26,7 +27,7 @@ from repro.hardware.measure import (
 __all__ = [
     "ARM_A57", "INTEL_I7", "MAXWELL_MGPU", "NVIDIA_1080TI", "PLATFORMS",
     "PlatformSpec", "get_platform",
-    "LatencyEstimate", "estimate_dram_traffic", "estimate_latency",
-    "estimate_latency_batch", "estimate_roofline_bound",
+    "LatencyEstimate", "estimate_dram_traffic", "estimate_dram_traffic_batch",
+    "estimate_latency", "estimate_latency_batch", "estimate_roofline_bound",
     "GRAPH_OVERHEAD_US", "NetworkMeasurement", "measure_network", "speedup",
 ]

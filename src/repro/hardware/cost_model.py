@@ -20,6 +20,7 @@ would, which is what the search and all the figures rely on.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -115,6 +116,122 @@ def _vectorised_dram_traffic(nest: LoweredNest, cache_bytes: int) -> float:
     per_access = arrays.tensor_footprints[depth] * arrays.refetch[depth] * nest.element_bytes
     per_access = np.maximum(per_access, arrays.compulsory_bytes)
     return float(np.sum(per_access * arrays.write_factor))
+
+
+class _BatchWorkspace(threading.local):
+    """Growable per-thread scratch buffers reused across batch calls.
+
+    ``threading.local`` because ``estimate_latency_batch`` runs
+    concurrently on the engine's thread pools; each thread keeps its own
+    buffers and no call ever sees another call's scratch state.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+
+    def floats(self, name: str, size: int) -> np.ndarray:
+        return self._get(name, size, np.float64)
+
+    def iota(self, size: int) -> np.ndarray:
+        """A reusable ``arange`` prefix (read-only by convention)."""
+        buffer = self._buffers.get("iota")
+        if buffer is None or buffer.size < size:
+            buffer = np.arange(max(size, 1024), dtype=np.intp)
+            self._buffers["iota"] = buffer
+        return buffer[:size]
+
+    def _get(self, name: str, size: int, dtype) -> np.ndarray:
+        buffer = self._buffers.get(name)
+        if buffer is None or buffer.size < size:
+            capacity = max(size, 1024 if buffer is None else 2 * buffer.size)
+            buffer = np.empty(capacity, dtype=dtype)
+            self._buffers[name] = buffer
+        return buffer[:size]
+
+
+_WORKSPACE = _BatchWorkspace()
+
+
+def estimate_dram_traffic_batch(nests: Sequence[LoweredNest],
+                                cache_bytes: int) -> np.ndarray:
+    """Per-nest DRAM traffic for a whole batch in a few numpy passes.
+
+    Bit-identical to calling :func:`_vectorised_dram_traffic` (and hence
+    :func:`estimate_dram_traffic`) on each nest, but with no per-candidate
+    numpy dispatch: the per-depth working sets are scattered into one
+    ``+inf``-padded matrix for a single batched reuse-depth ``argmax``,
+    the per-access footprint/refetch rows at the chosen depths are
+    gathered through flat indices, and the per-nest reductions run as one
+    ``np.add.reduceat``.  ``reduceat`` sums strictly left-to-right, which
+    matches ``np.sum``'s sequential kernel only below numpy's 8-element
+    pairwise threshold — conv/dense nests have at most a handful of
+    accesses, and any larger segment falls back to per-nest ``np.sum``.
+
+    Scratch arrays come from a per-thread growable workspace, so a
+    ``tune_many`` batch stream reuses the same buffers call after call.
+    """
+    count = len(nests)
+    if count == 0:
+        return np.empty(0, dtype=np.float64)
+    arrays = [nest.traffic_arrays() for nest in nests]
+    ws = _WORKSPACE
+
+    depth_counts = np.fromiter((a.working_set_bytes.size for a in arrays),
+                               dtype=np.intp, count=count)
+    acc_counts = np.fromiter((a.compulsory_bytes.size for a in arrays),
+                             dtype=np.intp, count=count)
+    element_bytes = np.fromiter((nest.element_bytes for nest in nests),
+                                dtype=np.float64, count=count)
+
+    # Reuse-depth selection: scatter every nest's working-set vector into
+    # one +inf-padded (count x max_depths) matrix; padding never "fits",
+    # so a single row-wise argmax reproduces the scalar early-exit scan.
+    total_depths = int(depth_counts.sum())
+    depth_ends = np.cumsum(depth_counts)
+    depth_rows = np.repeat(ws.iota(count), depth_counts)
+    depth_cols = ws.iota(total_depths) - np.repeat(depth_ends - depth_counts,
+                                                  depth_counts)
+    max_depths = int(depth_counts.max())
+    padded = ws.floats("working_sets", count * max_depths).reshape(count, max_depths)
+    padded.fill(np.inf)
+    np.concatenate([a.working_set_bytes for a in arrays],
+                   out=ws.floats("ws_flat", total_depths))
+    padded[depth_rows, depth_cols] = ws.floats("ws_flat", total_depths)
+    fits = padded <= cache_bytes
+    depth = np.where(fits.any(axis=1), np.argmax(fits, axis=1), depth_counts - 1)
+
+    # Flat gather of the footprint/refetch rows at each nest's depth.
+    total_acc = int(acc_counts.sum())
+    acc_ends = np.cumsum(acc_counts)
+    acc_starts = acc_ends - acc_counts
+    matrix_sizes = depth_counts * acc_counts
+    matrix_offsets = np.cumsum(matrix_sizes) - matrix_sizes
+    local = ws.iota(total_acc) - np.repeat(acc_starts, acc_counts)
+    select = np.repeat(matrix_offsets + depth * acc_counts, acc_counts) + local
+
+    total_cells = int(matrix_sizes.sum())
+    footprints = np.concatenate([a.tensor_footprints.ravel() for a in arrays],
+                                out=ws.floats("footprints", total_cells))
+    refetch = np.concatenate([a.refetch.ravel() for a in arrays],
+                             out=ws.floats("refetch", total_cells))
+    compulsory = np.concatenate([a.compulsory_bytes for a in arrays],
+                                out=ws.floats("compulsory", total_acc))
+    write_factor = np.concatenate([a.write_factor for a in arrays],
+                                  out=ws.floats("write_factor", total_acc))
+
+    per_access = ws.floats("per_access", total_acc)
+    np.multiply(footprints[select], refetch[select], out=per_access)
+    per_access *= np.repeat(element_bytes, acc_counts)
+    np.maximum(per_access, compulsory, out=per_access)
+    per_access *= write_factor
+
+    traffic = np.empty(count, dtype=np.float64)
+    if int(acc_counts.min()) > 0 and int(acc_counts.max()) < 8:
+        np.add.reduceat(per_access, acc_starts, out=traffic)
+    else:
+        for index in range(count):
+            traffic[index] = np.sum(per_access[acc_starts[index]:acc_ends[index]])
+    return traffic
 
 
 # ---------------------------------------------------------------------------
@@ -289,15 +406,15 @@ def estimate_latency_batch(nests: Sequence[LoweredNest],
     if not nests:
         return []
     count = len(nests)
-    flops = np.empty(count, dtype=np.float64)
-    dram_bytes = np.empty(count, dtype=np.float64)
-    instr = np.empty(count, dtype=np.float64)
-    factor_a = np.empty(count, dtype=np.float64)
-    factor_b = np.empty(count, dtype=np.float64)
-    factor_c = np.empty(count, dtype=np.float64)
+    ws = _WORKSPACE
+    flops = ws.floats("batch_flops", count)
+    instr = ws.floats("batch_instr", count)
+    factor_a = ws.floats("batch_factor_a", count)
+    factor_b = ws.floats("batch_factor_b", count)
+    factor_c = ws.floats("batch_factor_c", count)
+    dram_bytes = estimate_dram_traffic_batch(nests, platform.cache_bytes)
     for index, nest in enumerate(nests):
         flops[index] = 2.0 * nest.macs
-        dram_bytes[index] = _vectorised_dram_traffic(nest, platform.cache_bytes)
         instr[index] = _instruction_efficiency(nest)
         if platform.is_gpu:
             factor_a[index], factor_b[index], factor_c[index] = _gpu_mapping(nest, platform)

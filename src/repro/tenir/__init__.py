@@ -15,12 +15,14 @@ from repro.tenir.autotune import (
     TuningContext,
     TuningResult,
     classify_loops,
+    clear_tuning_contexts,
     cpu_schedule,
     default_schedule,
     gpu_schedule,
     naive_schedule,
     reference_tune,
     sample_parameters,
+    shared_tuning_context,
 )
 from repro.tenir.runtime import output_shape, run, run_computation
 
@@ -30,7 +32,8 @@ __all__ = [
     "THREAD_TAGS", "LoopAnnotation", "Stage", "create_schedule",
     "LoweredAccess", "LoweredLoop", "LoweredNest", "lower",
     "AutoTuner", "ScheduleParameters", "TuningContext", "TuningResult",
-    "classify_loops", "cpu_schedule", "default_schedule", "gpu_schedule",
-    "naive_schedule", "reference_tune", "sample_parameters",
+    "classify_loops", "clear_tuning_contexts", "cpu_schedule", "default_schedule",
+    "gpu_schedule", "naive_schedule", "reference_tune", "sample_parameters",
+    "shared_tuning_context",
     "output_shape", "run", "run_computation",
 ]

@@ -21,6 +21,9 @@ results are bit-identical to the pre-fast-path loop, which is kept as
 
 from __future__ import annotations
 
+import os
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -247,6 +250,13 @@ class TuningContext:
     spatial_divisors: list[int]
     _structural: dict = field(default_factory=dict, repr=False)
     _lowered: dict = field(default_factory=dict, repr=False)
+    #: per-``schedule_key`` ``[stage, nest, LatencyEstimate | None]`` triples
+    #: (and the keys whose instantiation raised) — the cross-call memo that
+    #: makes re-tunes at another fidelity or seed near-free.  Every cached
+    #: value equals its recomputation bit for bit, so sharing them changes
+    #: nothing but the wall clock.
+    _instances: dict = field(default_factory=dict, repr=False)
+    _invalid: set = field(default_factory=set, repr=False)
 
     @classmethod
     def build(cls, computation: Computation, platform: PlatformSpec) -> "TuningContext":
@@ -460,6 +470,58 @@ class TuningContext:
 
 
 # ---------------------------------------------------------------------------
+# Shared tuning contexts
+# ---------------------------------------------------------------------------
+#: LRU bound on the process-wide context store (override with
+#: ``REPRO_TUNING_CONTEXTS``).  Each entry holds one template analysis plus
+#: its structural/lowering caches — small relative to a single tuning run.
+DEFAULT_MAX_CONTEXTS = int(os.environ.get("REPRO_TUNING_CONTEXTS", "512"))
+
+_shared_contexts: "OrderedDict[tuple[Computation, PlatformSpec], TuningContext]" = (
+    OrderedDict())
+_shared_contexts_lock = threading.Lock()
+
+
+def shared_tuning_context(computation: Computation,
+                          platform: PlatformSpec) -> TuningContext:
+    """Return the process-wide :class:`TuningContext` for this pair.
+
+    Keyed on the *full* ``(computation, platform)`` value (both are frozen
+    and hashable), so a cache hit hands back a context whose ``computation``
+    compares equal to the request — every downstream artefact (stage and
+    nest names included) is exactly what a freshly built context would
+    produce.  The win is that re-tunes of the same operator — hyperband's
+    fidelity ladder, multi-seed replications, repeated engine sessions —
+    reuse the template analysis plus the per-``schedule_key`` structural
+    and lowering caches the earlier tunes already paid for.
+
+    Thread-safe: contexts may be built twice under a race, but only one is
+    kept, and the per-context caches are deterministic read-through tables,
+    so concurrent use never changes results.
+    """
+    key = (computation, platform)
+    with _shared_contexts_lock:
+        context = _shared_contexts.get(key)
+        if context is not None:
+            _shared_contexts.move_to_end(key)
+            return context
+    built = TuningContext.build(computation, platform)
+    with _shared_contexts_lock:
+        context = _shared_contexts.get(key)
+        if context is None:
+            _shared_contexts[key] = context = built
+            while len(_shared_contexts) > DEFAULT_MAX_CONTEXTS:
+                _shared_contexts.popitem(last=False)
+    return context
+
+
+def clear_tuning_contexts() -> None:
+    """Drop every shared tuning context (tests and memory pressure)."""
+    with _shared_contexts_lock:
+        _shared_contexts.clear()
+
+
+# ---------------------------------------------------------------------------
 # The tuner
 # ---------------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -529,50 +591,64 @@ class AutoTuner:
 
         The fast path: template analysis happens once in the
         :class:`TuningContext`, trials mapping to the same
-        :meth:`~TuningContext.schedule_key` are instantiated and scored
-        once, and the surviving candidates go through the vectorised
-        batch cost model.  Results are bit-identical to
-        :func:`reference_tune` (the pre-fast-path loop) for any seed.
+        :meth:`~TuningContext.schedule_key` are instantiated, lowered and
+        scored once *per context lifetime* (the context memoises the
+        ``(stage, nest, estimate)`` triple per key, so a re-tune at a new
+        fidelity or from a new engine session only pays for keys it has
+        never seen), and freshly surviving candidates go through the
+        vectorised batch cost model.  Results are bit-identical to
+        :func:`reference_tune` (the pre-fast-path loop) for any seed:
+        every memoised value equals its recomputation.
         """
         rng = make_rng(self.seed)
         if context is None:
-            context = TuningContext.build(computation, platform)
+            context = shared_tuning_context(computation, platform)
         elif context.computation != computation or context.platform != platform:
             raise ScheduleError(
                 "the supplied TuningContext was built for a different "
                 "(computation, platform) pair")
         trial_params = [ScheduleParameters() if trial == 0 else context.sample(rng)
                         for trial in range(self.trials)]
+        trial_keys = [context.schedule_key(params) for params in trial_params]
 
-        staged: dict[tuple, tuple[Stage, LoweredNest, ScheduleParameters]] = {}
-        invalid: set[tuple] = set()
-        for params in trial_params:
-            key = context.schedule_key(params)
-            if key in staged or key in invalid:
+        # First params (in trial order) per schedule key, plus a local
+        # reference to the context's memo entry so concurrent tunes on the
+        # shared context can never hand us a half-written slot.
+        chosen: dict[tuple, tuple[ScheduleParameters, list]] = {}
+        for params, key in zip(trial_params, trial_keys):
+            if key in chosen or key in context._invalid:
                 continue
-            try:
-                stage = context.instantiate(params)
-            except ScheduleError:
-                invalid.add(key)
-                continue
-            staged[key] = (stage, context.lowered(stage), params)
+            entry = context._instances.get(key)
+            if entry is None:
+                try:
+                    stage = context.instantiate(params)
+                except ScheduleError:
+                    context._invalid.add(key)
+                    continue
+                entry = [stage, context.lowered(stage), None]
+                context._instances[key] = entry
+            chosen[key] = (params, entry)
 
-        estimates = estimate_latency_batch(
-            [nest for _, nest, _ in staged.values()], platform)
-        results = {key: TuningResult(stage, nest, estimate, params, self.trials)
-                   for (key, (stage, nest, params)), estimate
-                   in zip(staged.items(), estimates)}
+        pending = [entry for _, entry in chosen.values() if entry[2] is None]
+        if pending:
+            estimates = estimate_latency_batch(
+                [entry[1] for entry in pending], platform)
+            for entry, estimate in zip(pending, estimates):
+                entry[2] = estimate
 
-        best: TuningResult | None = None
-        for params in trial_params:
-            candidate = results.get(context.schedule_key(params))
-            if candidate is None:
+        best_key: tuple | None = None
+        best_seconds = float("inf")
+        for key in trial_keys:
+            selected = chosen.get(key)
+            if selected is None:
                 continue
-            if best is None or candidate.seconds < best.seconds:
-                best = candidate
-        if best is None:
+            seconds = selected[1][2].seconds
+            if best_key is None or seconds < best_seconds:
+                best_key, best_seconds = key, seconds
+        if best_key is None:
             raise ScheduleError("auto-tuning failed to produce a single valid schedule")
-        return best
+        params, (stage, nest, estimate) = chosen[best_key]
+        return TuningResult(stage, nest, estimate, params, self.trials)
 
     def tune_many(self, computations: list[Computation], platform: PlatformSpec,
                   *, parallel: str = "serial",

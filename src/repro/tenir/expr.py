@@ -30,6 +30,24 @@ class Computation:
     element_bytes: int = 4
     source_shape: ConvolutionShape | None = None
 
+    def __hash__(self) -> int:
+        # Hashing walks the whole statement tree; computations key the
+        # shared tuning-context store and the engine memos, so the hash
+        # is cached per instance after the first computation.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.name, self.statement,
+                           self.element_bytes, self.source_shape))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # str hashes are salted per process: never ship a cached hash
+        # through pickle (process pools re-derive it on first use).
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
     @property
     def macs(self) -> int:
         return self.statement.domain.cardinality()

@@ -140,9 +140,14 @@ class TestCache:
                 "--cache-dir", str(tmp_path), *TINY_OPTIMIZE)
         info = run_cli(capsys, "cache", "info", "--cache-dir", str(tmp_path))
         assert "entries" in info and "engine-cpu" in info
-        rows = json.loads(run_cli(capsys, "cache", "info",
-                                  "--cache-dir", str(tmp_path), "--json"))
+        payload = json.loads(run_cli(capsys, "cache", "info",
+                                     "--cache-dir", str(tmp_path), "--json"))
+        rows = payload["stores"]
         assert len(rows) == 1 and rows[0]["entries"] > 0
+        # The process-local compile trie is reported alongside the stores.
+        compile_info = payload["compile_cache"]
+        assert compile_info["max_entries"] > 0
+        assert compile_info["compile_misses"] >= 0
         out = run_cli(capsys, "cache", "clear", "--cache-dir", str(tmp_path))
         assert "removed 1" in out
         assert "no engine cache stores" in run_cli(

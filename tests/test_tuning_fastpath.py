@@ -137,6 +137,9 @@ class TestTunerFastPath:
 
     def test_duplicate_parameters_instantiated_once(self, monkeypatch):
         """Trials mapping to one schedule key share a single instantiation."""
+        from repro.tenir import clear_tuning_contexts
+
+        clear_tuning_contexts()  # start from a cold shared-context store
         platform = get_platform("cpu")
         computation = conv2d_compute(ConvolutionShape(8, 8, 4, 4, 3, 3))
         calls = {"count": 0}

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Fail when a benchmark's speedup regresses against the pinned baseline.
+
+The benchmarks write machine-readable ``BENCH_<name>.json`` records (see
+``benchmarks/conftest.py``); ``benchmarks/perf_baseline.json`` pins the
+speedup-over-main each throughput benchmark must sustain.  Wall times do
+not transfer across machines but same-machine speedup ratios do, so the
+gate compares speedups: a measured value below ``TOLERANCE`` times its
+pin fails the build.
+
+Usage::
+
+    python tools/check_bench_regression.py [records_dir]
+
+``records_dir`` defaults to ``$REPRO_BENCH_RECORDS`` or the working
+directory.  Exits 1 on regression or on a pinned benchmark with no
+record (a silently skipped benchmark must not pass the gate).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+#: A measured speedup below this fraction of its pin is a regression
+#: (the issue's ">20% regression" threshold).
+TOLERANCE = 0.8
+
+BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "perf_baseline.json"
+
+
+def main(argv: list[str]) -> int:
+    records_dir = Path(argv[1] if len(argv) > 1
+                       else os.environ.get("REPRO_BENCH_RECORDS", "."))
+    baseline = {name: pins for name, pins in json.loads(BASELINE.read_text()).items()
+                if not name.startswith("_")}
+    failures = []
+    for name, pins in sorted(baseline.items()):
+        record_path = records_dir / f"BENCH_{name}.json"
+        if not record_path.exists():
+            failures.append(f"{name}: no record at {record_path} "
+                            f"(benchmark did not run?)")
+            continue
+        record = json.loads(record_path.read_text())
+        measured = record.get("speedup")
+        pinned = pins["speedup"]
+        floor = TOLERANCE * pinned
+        if measured is None:
+            failures.append(f"{name}: record has no 'speedup' field")
+        elif measured < floor:
+            failures.append(
+                f"{name}: speedup {measured:.2f}x < {floor:.2f}x "
+                f"(pin {pinned:.2f}x, tolerance {TOLERANCE:.0%})")
+        else:
+            print(f"ok  {name}: {measured:.2f}x (pin {pinned:.2f}x, "
+                  f"floor {floor:.2f}x)")
+    for failure in failures:
+        print(f"FAIL  {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
