@@ -31,6 +31,7 @@ from repro.api import (
     program_to_dict,
     tune,
 )
+from repro.core.cache_store import CacheStore
 from repro.core.encoding import FEATURE_NAMES, encode_candidate
 from repro.core.engine import EvaluationEngine
 from repro.core.events import Observable, Observer, ProgressEvent
@@ -44,7 +45,7 @@ from repro.hardware.platform import PlatformSpec, get_platform
 from repro.poly.statement import ConvolutionShape
 
 #: Single-source package version (setup.py reads it from this file).
-__version__ = "0.5.0"
+__version__ = "0.6.0"
 
 #: The supported public surface.  Additions are backwards-compatible;
 #: removals or renames require a major version bump (DESIGN.md §9).
@@ -62,7 +63,7 @@ __all__ = [
     "MODEL_BUILDERS", "build_model", "PlatformSpec", "get_platform",
     "list_platforms", "list_sequences",
     # the engine/search layer for advanced callers
-    "EvaluationEngine", "UnifiedSearch", "UnifiedSearchResult",
+    "EvaluationEngine", "CacheStore", "UnifiedSearch", "UnifiedSearchResult",
     "UnifiedSpaceConfig",
     # the predictor-guided search subsystem
     "LatencyPredictor", "encode_candidate", "FEATURE_NAMES",

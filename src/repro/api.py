@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
+from repro.core.cache_store import CacheStore
 from repro.core.engine import EvaluationEngine
 from repro.core.events import Observer
 from repro.core.program import (
@@ -69,7 +70,7 @@ __all__ = [
     "LayerDecision", "TuningResult", "optimize", "tune",
     "build_model", "MODEL_BUILDERS", "list_platforms", "list_sequences",
     "program_to_dict", "program_from_dict", "resolve_program",
-    "resolve_shape", "default_cache_dir", "env_cache_dir",
+    "resolve_shape", "default_cache_dir", "env_cache_dir", "CacheStore",
     "REQUEST_SCHEMA", "RESULT_SCHEMA", "TUNING_SCHEMA",
 ]
 
@@ -80,11 +81,15 @@ def default_cache_dir() -> Path:
     Engine caches are opt-in: ``optimize``/``tune`` write stores only when
     given a ``cache_dir`` (the CLI also honours the ``REPRO_CACHE_DIR``
     environment variable as that default), and this is where they land
-    when ``REPRO_CACHE_DIR`` names no other place.
+    when ``REPRO_CACHE_DIR`` names no other place.  A ``cache_dir`` holds
+    one sharded :class:`~repro.core.cache_store.CacheStore` (one
+    ``shard-<platform>.rcs`` segment per platform, shared by every engine
+    and every process); legacy ``engine-*.pkl`` monolithic pickles in the
+    same directory are upgraded by ``repro cache migrate``.
 
     Example::
 
-        stores = sorted(default_cache_dir().glob("engine-*.pkl"))
+        shards = sorted(default_cache_dir().glob("shard-*.rcs"))
     """
     import os
 
@@ -496,10 +501,12 @@ class OptimizationSession:
 
     One session holds one :class:`EvaluationEngine` per
     ``(platform, tuner_trials, seed)`` it was asked to touch.  Engines are
-    created lazily, share the session's ``cache_dir`` (one cache file per
-    engine key) and are torn down — dirty caches written back, worker
-    pools shut down — by :meth:`close`, which the context-manager exit
-    calls even when the body raised.
+    created lazily, share the session's ``cache_dir`` — one sharded
+    :class:`~repro.core.cache_store.CacheStore`, a shard per platform,
+    safe to share with any number of concurrent sessions and processes —
+    and are torn down — pending cache entries appended, worker pools shut
+    down — by :meth:`close`, which the context-manager exit calls even
+    when the body raised.
 
     Example::
 
@@ -518,6 +525,8 @@ class OptimizationSession:
         self.seed = seed
         self.cache_dir = (Path(cache_dir).expanduser()
                           if cache_dir is not None else None)
+        self.cache_store = (CacheStore(self.cache_dir)
+                            if self.cache_dir is not None else None)
         self.parallel = parallel
         self.max_workers = max_workers
         self.observer = observer
@@ -538,13 +547,9 @@ class OptimizationSession:
                self.seed if seed is None else int(seed))
         engine = self._engines.get(key)
         if engine is None:
-            cache_path = None
-            if self.cache_dir is not None:
-                name, trials, engine_seed = key
-                cache_path = self.cache_dir / f"engine-{name}-t{trials}-s{engine_seed}.pkl"
             engine = EvaluationEngine(
                 get_platform(key[0]), tuner_trials=key[1], seed=key[2],
-                cache_path=cache_path, parallel=self.parallel,
+                cache_store=self.cache_store, parallel=self.parallel,
                 max_workers=self.max_workers)
             self._engines[key] = engine
             self._closed = False
@@ -638,10 +643,10 @@ class OptimizationSession:
 
     # ------------------------------------------------------------------
     def save_caches(self) -> list[Path]:
-        """Write back every engine cache that has a configured path."""
+        """Write back every engine cache that has a persistence backend."""
         written = []
         for engine in self._engines.values():
-            if engine.cache_path is not None:
+            if engine.cache_store is not None or engine.cache_path is not None:
                 written.append(engine.save_cache())
         return written
 
@@ -656,7 +661,7 @@ class OptimizationSession:
         failures: list[Exception] = []
         for engine in engines.values():
             try:
-                if engine.cache_path is not None:
+                if engine.cache_store is not None or engine.cache_path is not None:
                     engine.save_cache()
             except Exception as exc:  # noqa: BLE001 - re-raised below
                 failures.append(exc)

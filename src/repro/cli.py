@@ -8,7 +8,8 @@ reachable from a shell::
     repro optimize --model resnet34        # one unified-search run
     repro tune --shape 64x64x16x16x3x3 --program seq1 --platform mgpu
     repro platforms                        # the four deployment targets
-    repro cache info | cache clear         # manage persisted engine caches
+    repro cache info | clear | migrate     # manage the sharded tuning cache
+    repro cache export out.jsonl           # ship a warm cache to another host
 
 Every subcommand honours ``--json`` (machine-readable documents built from
 the typed result objects), and the search/tune commands honour
@@ -108,13 +109,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiments", help="list the registered experiments")
     experiments.add_argument("--json", action="store_true")
 
-    cache = commands.add_parser("cache", help="manage persisted engine caches")
+    cache = commands.add_parser("cache",
+                                help="manage the persisted tuning-cache store")
     cache_commands = cache.add_subparsers(dest="cache_command", metavar="action")
-    info = cache_commands.add_parser("info", help="show cached engine stores")
+    info = cache_commands.add_parser(
+        "info", help="show the sharded store (and any legacy pickles)")
     info.add_argument("--cache-dir", default=None)
     info.add_argument("--json", action="store_true")
-    clear = cache_commands.add_parser("clear", help="delete cached engine stores")
+    clear = cache_commands.add_parser(
+        "clear", help="delete recognised cache-store files, and nothing else")
     clear.add_argument("--cache-dir", default=None)
+    migrate = cache_commands.add_parser(
+        "migrate", help="upgrade legacy engine-*.pkl caches into the "
+                        "sharded store")
+    migrate.add_argument("--cache-dir", default=None)
+    migrate.add_argument("--keep", action="store_true",
+                         help="keep the legacy pickles after migrating them")
+    export = cache_commands.add_parser(
+        "export", help="write every cached entry to a portable JSON-lines file")
+    export.add_argument("path", help="destination file (e.g. warm-cache.jsonl)")
+    export.add_argument("--cache-dir", default=None)
+    import_ = cache_commands.add_parser(
+        "import", help="absorb an exported JSON-lines file into the store")
+    import_.add_argument("path", help="an envelope written by 'repro cache export'")
+    import_.add_argument("--cache-dir", default=None)
     return parser
 
 
@@ -268,55 +286,138 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
-def _cache_stores(cache_dir: str | None) -> list[Path]:
+def _cache_directory(cache_dir: str | None) -> Path:
     from repro.api import default_cache_dir
 
-    directory = Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
+    return Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
+
+
+def _legacy_pickles(directory: Path) -> list[Path]:
+    """Monolithic ``engine-*.pkl`` caches left behind by older builds."""
     if not directory.exists():
         return []
     return sorted(directory.glob("engine-*.pkl"))
 
 
+def _is_pickle_file(path: Path) -> bool:
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(1) == b"\x80"  # every protocol-2+ pickle
+    except OSError:
+        return False
+
+
+def _legacy_pickle_row(path: Path) -> dict:
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        entries = len(payload.get("entries", {}))
+        version = payload.get("version")
+    except Exception:
+        entries, version = -1, None
+    return {"path": str(path), "bytes": path.stat().st_size,
+            "entries": entries, "format_version": version}
+
+
 def _cmd_cache(args) -> int:
+    from repro.core.cache_store import CacheStore, is_store_file
+
+    directory = _cache_directory(args.cache_dir)
     if args.cache_command == "clear":
-        stores = _cache_stores(args.cache_dir)
-        for store in stores:
-            store.unlink()
-        print(f"removed {len(stores)} engine cache store(s)")
+        # Delete only files this tool recognises as its own — shard
+        # segments (checked by magic), their lock/scratch files, and
+        # legacy engine pickles — and report everything it left alone.
+        candidates = sorted(directory.iterdir()) if directory.exists() else []
+        removed, skipped = [], []
+        for path in candidates:
+            if path.is_dir():
+                skipped.append(path)
+            elif is_store_file(path):
+                removed.append(path)
+            elif (path.name.startswith("engine-") and path.suffix == ".pkl"
+                  and _is_pickle_file(path)):
+                removed.append(path)
+            else:
+                skipped.append(path)
+        for path in removed:
+            path.unlink()
+        print(f"removed {len(removed)} cache store file(s)")
+        for path in skipped:
+            print(f"skipped {path.name}: not a recognised cache store file")
         return 0
     if args.cache_command == "info":
         from repro.core.compile_cache import COMPILE_CACHE
 
-        stores = _cache_stores(args.cache_dir)
-        rows = []
-        for store in stores:
-            try:
-                with open(store, "rb") as handle:
-                    payload = pickle.load(handle)
-                entries = len(payload.get("entries", {}))
-                version = payload.get("version")
-            except Exception:
-                entries, version = -1, None
-            rows.append({"path": str(store), "bytes": store.stat().st_size,
-                         "entries": entries, "format_version": version})
+        store = CacheStore(directory)
+        rows = [shard.to_dict() for shard in store.info()]
+        legacy = [_legacy_pickle_row(path) for path in _legacy_pickles(directory)]
         compile_info = COMPILE_CACHE.info()
         if getattr(args, "json", False):
-            print(json.dumps({"stores": rows, "compile_cache": compile_info},
-                             indent=2))
+            print(json.dumps({"stores": rows, "legacy_pickles": legacy,
+                              "compile_cache": compile_info}, indent=2))
             return 0
-        if not rows:
+        if not rows and not legacy:
             print("no engine cache stores found")
         for row in rows:
-            entries = "unreadable" if row["entries"] < 0 else f"{row['entries']} entries"
+            if row["error"]:
+                detail = f"unreadable: {row['error']}"
+            else:
+                detail = (f"{row['entries']} entries "
+                          f"({row['dead_records']} dead records)")
+            print(f"{row['path']}  {row['bytes']} bytes  {detail}  "
+                  f"(store v{row['format_version']})")
+        for row in legacy:
+            entries = ("unreadable" if row["entries"] < 0
+                       else f"{row['entries']} entries")
             print(f"{row['path']}  {row['bytes']} bytes  {entries} "
-                  f"(format v{row['format_version']})")
+                  f"(legacy pickle v{row['format_version']}; upgrade with "
+                  f"'repro cache migrate')")
         print(f"compile cache (this process): "
               f"{compile_info['entries']}/{compile_info['max_entries']} entries  "
               f"{compile_info['compile_hits']} hits  "
               f"{compile_info['compile_misses']} misses  "
               f"{compile_info['prefix_depth_saved']} steps saved by prefixes")
         return 0
-    print("usage: repro cache {info,clear} [--cache-dir DIR]", file=sys.stderr)
+    if args.cache_command == "migrate":
+        from repro.core.engine import CACHE_FORMAT_VERSION
+
+        store = CacheStore(directory)
+        migrated = skipped = appended = 0
+        for path in _legacy_pickles(directory):
+            try:
+                with open(path, "rb") as handle:
+                    payload = pickle.load(handle)
+                version = payload.get("version")
+                if version != CACHE_FORMAT_VERSION:
+                    raise ValueError(
+                        f"cache format version {version}, expected "
+                        f"{CACHE_FORMAT_VERSION}")
+                entries = dict(payload["entries"])
+            except Exception as exc:
+                skipped += 1
+                print(f"skipped {path.name}: {exc}", file=sys.stderr)
+                continue
+            appended += store.append(entries)
+            migrated += 1
+            if not args.keep:
+                path.unlink()
+            print(f"migrated {path.name}: {len(entries)} entries")
+        verb = "kept" if args.keep else "removed"
+        print(f"migrated {migrated} legacy pickle(s) ({verb} afterwards), "
+              f"{appended} new entries appended, {skipped} skipped")
+        return 0
+    if args.cache_command == "export":
+        store = CacheStore(directory)
+        target = store.export(args.path)
+        print(f"exported {len(store)} entries to {target}")
+        return 0
+    if args.cache_command == "import":
+        store = CacheStore(directory)
+        new = store.import_(args.path)
+        print(f"imported {new} new entries from {args.path}")
+        return 0
+    print("usage: repro cache {info,clear,migrate,export,import} "
+          "[--cache-dir DIR]", file=sys.stderr)
     return 2
 
 

@@ -46,6 +46,13 @@ from repro.core.events import (
     Observer,
     ProgressEvent,
 )
+from repro.core.cache_store import (
+    CacheStore,
+    ShardInfo,
+    canonical_key_document,
+    key_digest,
+    key_from_document,
+)
 from repro.core.engine import (
     EngineStatistics,
     EvaluationEngine,
@@ -87,6 +94,8 @@ __all__ = [
     "TABLE1_PRIMITIVES", "UnifiedSpace", "UnifiedSpaceConfig", "primitive_catalogue",
     "LayerWorkload", "extract_workloads", "total_macs", "unique_shapes",
     "Observable", "Observer", "ProgressEvent",
+    "CacheStore", "ShardInfo", "canonical_key_document", "key_digest",
+    "key_from_document",
     "EngineStatistics", "EvaluationEngine", "FisherOracle",
     "SEARCH_STRATEGIES", "SEARCH_STRATEGY_REGISTRY", "SearchStrategy",
     "get_strategy", "register_strategy",

@@ -1,0 +1,820 @@
+"""Sharded, content-addressed persistence for the engine's latency cache.
+
+The monolithic pickle the engine grew up with (one ``engine-*.pkl`` per
+engine key, rewritten whole on every save, reloaded whole on every start)
+stops scaling once many tuning processes share one warm ``cache_dir``:
+every writer serialises the entire table, every reader deserialises all of
+it, and two processes can only exchange work by replacing each other's
+files.  This module replaces it with an append-only, shard-per-platform
+store:
+
+* **Content addressing** — every latency entry is keyed by the sha1 of its
+  canonical ``(platform, shape, program, trials, seed)`` document (the
+  program's display name is excluded: two programs with equal steps are
+  the same program), so appends, merges and imports dedupe exactly.
+* **Lock-free hot path** — readers scan a shard's segment file into a
+  plain dict once and thereafter hit pure in-memory lookups; no reader
+  ever takes a lock.  Programs and shapes are interned as their own
+  record types, so the 10k-entry warm start is a vectorised
+  ``numpy.frombuffer`` parse instead of a pickle graph walk.
+* **Concurrent multi-process writers** — appends happen under a per-shard
+  ``flock``; a writer re-scans the bytes other writers appended since its
+  last look, truncates any torn tail a crashed writer left behind, and
+  appends only records whose digest is still unknown.
+* **Crash tolerance** — every record is CRC-framed; a truncated or torn
+  tail is skipped by readers and healed by the next locked append, never
+  fatal.
+* **Compaction and eviction** — a shard whose dead/duplicate records
+  exceed a threshold is rewritten in place (scratch file + atomic
+  ``os.replace``), and ``REPRO_CACHE_MAX_ENTRIES`` caps the live entries
+  per shard (newest survive).
+* **Fleet exchange** — :meth:`CacheStore.merge`,
+  :meth:`CacheStore.export` and :meth:`CacheStore.import_` move entries
+  between stores and hosts as a portable JSON-lines envelope, deduped by
+  digest on arrival.
+
+Shard layout (format version 1)::
+
+    shard-<platform>.rcs
+      header:  magic "REPROCS1" | u32 version | u16 len | platform utf-8
+      records: u8 type | u32 body_len | u32 crc32(body) | body
+        type 1  program: u32 id | canonical program JSON
+        type 2  shape:   u32 id | 8 x i32 (c_out..stride)
+        type 3  batch:   u32 n  | n x (sha1[20] | u32 program | u32 shape
+                                       | i32 trials | i64 seed | f64 latency)
+
+See DESIGN.md §12 for the full locking discipline and the migration path
+from the legacy v2 pickles (``repro cache migrate``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import re
+import struct
+from pathlib import Path
+from typing import Iterator, Mapping
+from zlib import crc32
+
+import numpy as np
+
+from repro.core.program import TransformProgram, program_from_dict, program_to_dict
+from repro.errors import CacheStoreError
+from repro.poly.statement import ConvolutionShape
+
+try:  # the per-shard write lock; readers never need it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms degrade
+    fcntl = None
+
+#: A latency cache key, mirroring :data:`repro.core.engine.LatencyKey`.
+LatencyKey = tuple[str, ConvolutionShape, TransformProgram, int, int]
+
+#: First bytes of every shard segment file.
+SHARD_MAGIC = b"REPROCS1"
+
+#: On-disk store format version, gated per shard header (bump when the
+#: record layout changes; distinct from the legacy pickle's version 2).
+STORE_FORMAT_VERSION = 1
+
+#: Shard segment files are ``shard-<platform>.rcs`` under the store root.
+SHARD_PREFIX = "shard-"
+SHARD_SUFFIX = ".rcs"
+
+#: Schema tag of the portable JSON-lines export envelope.
+EXPORT_SCHEMA = "repro.cache-export/1"
+
+#: Environment variable capping the live entries per shard (eviction).
+MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
+
+_HEADER = struct.Struct("<8sIH")  # magic, format version, platform-name length
+_FRAME = struct.Struct("<BII")    # record type, body length, crc32(body)
+_PROGRAM_RECORD, _SHAPE_RECORD, _BATCH_RECORD = 1, 2, 3
+_PROGRAM_ID = struct.Struct("<I")
+_SHAPE_BODY = struct.Struct("<I8i")
+_BATCH_COUNT = struct.Struct("<I")
+_ENTRY = struct.Struct("<20sIIiqd")  # digest, program, shape, trials, seed, value
+_ENTRY_DTYPE = np.dtype([("digest", "V20"), ("program", "<u4"), ("shape", "<u4"),
+                         ("trials", "<i4"), ("seed", "<i8"), ("latency", "<f8")])
+assert _ENTRY.size == _ENTRY_DTYPE.itemsize == 48
+
+#: Sanity bound while scanning possibly-corrupt files: a framed length
+#: beyond this is treated as a torn tail, not an allocation request.
+_MAX_BODY_BYTES = 64 << 20
+
+
+# ---------------------------------------------------------------------------
+# Canonical key documents and content digests
+# ---------------------------------------------------------------------------
+def _shape_fields(shape: ConvolutionShape) -> list[int]:
+    return [shape.c_out, shape.c_in, shape.h_out, shape.w_out,
+            shape.k_h, shape.k_w, shape.groups, shape.stride]
+
+
+def _canonical_json(document) -> str:
+    return json.dumps(document, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_key_document(key: LatencyKey) -> dict:
+    """One latency key as a plain-JSON document (the export line format).
+
+    Example::
+
+        line = json.dumps(canonical_key_document(key))
+    """
+    platform, shape, program, trials, seed = key
+    return {
+        "platform": str(platform),
+        "shape": _shape_fields(shape),
+        "program": program_to_dict(program),
+        "trials": int(trials),
+        "seed": int(seed),
+    }
+
+
+def key_from_document(document: Mapping) -> LatencyKey:
+    """Rebuild a latency key from :func:`canonical_key_document` output.
+
+    Example::
+
+        key = key_from_document(json.loads(line))
+    """
+    shape = ConvolutionShape(*[int(value) for value in document["shape"]])
+    return (str(document["platform"]), shape,
+            program_from_dict(document["program"]),
+            int(document["trials"]), int(document["seed"]))
+
+
+def key_digest(key: LatencyKey) -> bytes:
+    """The 20-byte content address of one latency key.
+
+    The digest covers everything the tuned latency depends on — platform,
+    shape, program *steps*, trials, seed — and nothing else.  The
+    program's display name is deliberately excluded (it is ``compare=False``
+    on :class:`TransformProgram`): a sampled composition that happens to
+    reproduce a named sequence must dedupe against it.
+
+    Example::
+
+        digest = key_digest(("cpu", shape, program, 4, 0))
+    """
+    platform, shape, program, trials, seed = key
+    document = {
+        "platform": str(platform),
+        "shape": _shape_fields(shape),
+        "steps": program_to_dict(program)["steps"],
+        "trials": int(trials),
+        "seed": int(seed),
+    }
+    return hashlib.sha1(_canonical_json(document).encode("utf-8")).digest()
+
+
+# ---------------------------------------------------------------------------
+# Shard scan state
+# ---------------------------------------------------------------------------
+@dataclasses.dataclass
+class _ShardState:
+    """Everything one process knows about one shard's valid prefix."""
+
+    platform: str
+    programs: list[TransformProgram] = dataclasses.field(default_factory=list)
+    program_ids: dict[str, int] = dataclasses.field(default_factory=dict)
+    shapes: list[ConvolutionShape] = dataclasses.field(default_factory=list)
+    shape_ids: dict[tuple, int] = dataclasses.field(default_factory=dict)
+    batches: list[np.ndarray] = dataclasses.field(default_factory=list)
+    valid_offset: int = 0
+    entry_records: int = 0
+    stamp: tuple | None = None          # (st_ino, st_dev, st_size) last scanned
+    digest_set: set[bytes] | None = None  # built lazily by writers
+
+    def add_batch(self, array: np.ndarray) -> None:
+        self.batches.append(array)
+        self.entry_records += len(array)
+        if self.digest_set is not None:
+            self.digest_set.update(_batch_digests(array))
+
+
+def _batch_digests(array: np.ndarray) -> Iterator[bytes]:
+    raw = array["digest"].tobytes()
+    return (raw[i:i + 20] for i in range(0, len(raw), 20))
+
+
+def _frame(buffer: bytearray, record_type: int, body: bytes) -> None:
+    buffer += _FRAME.pack(record_type, len(body), crc32(body))
+    buffer += body
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardInfo:
+    """One shard's headline numbers for ``repro cache info``.
+
+    Example::
+
+        for shard in store.info():
+            print(shard.platform, shard.entries, shard.bytes)
+    """
+
+    platform: str
+    path: Path
+    bytes: int
+    entries: int          # live (unique-digest) entries
+    records: int          # entry records on disk, including dead duplicates
+    format_version: int
+    error: str | None = None
+
+    @property
+    def dead_records(self) -> int:
+        return self.records - self.entries
+
+    def to_dict(self) -> dict:
+        return {"platform": self.platform, "path": str(self.path),
+                "bytes": self.bytes, "entries": self.entries,
+                "records": self.records, "dead_records": self.dead_records,
+                "format_version": self.format_version, "error": self.error}
+
+
+def is_store_file(path: Path) -> bool:
+    """Whether ``path`` is one of this store's own on-disk artefacts.
+
+    Recognises shard segment files (by suffix *and* magic), their lock
+    files, and writer scratch files — the only things ``repro cache
+    clear`` may delete from a cache directory.
+
+    Example::
+
+        deletable = [p for p in directory.iterdir() if is_store_file(p)]
+    """
+    name = path.name
+    if not name.startswith(SHARD_PREFIX):
+        return False
+    if name.endswith(SHARD_SUFFIX + ".lock"):
+        return True
+    if SHARD_SUFFIX + ".tmp." in name:
+        return True
+    if not name.endswith(SHARD_SUFFIX):
+        return False
+    try:
+        with open(path, "rb") as handle:
+            return handle.read(len(SHARD_MAGIC)) == SHARD_MAGIC
+    except OSError:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+class CacheStore:
+    """A sharded, content-addressed store for tuned-latency entries.
+
+    One directory holds one append-only segment file per platform; any
+    number of processes may share it.  Readers are lock-free (one scan
+    into a plain dict, then pure memory); writers append under a
+    per-shard ``flock`` and dedupe by content digest, so concurrent
+    engines never corrupt or duplicate each other's work.
+
+    Example::
+
+        store = CacheStore("~/.cache/repro")
+        store.append({key: 0.0012})
+        warm = store.load_platform("cpu")
+
+    ``max_entries`` (default: the ``REPRO_CACHE_MAX_ENTRIES`` environment
+    variable) caps the live entries per shard; the cap and the
+    dead-record threshold both trigger an in-place compaction rewrite.
+    """
+
+    def __init__(self, directory: str | Path, *, max_entries: int | None = None,
+                 compact_ratio: float = 0.5, compact_min_dead: int = 64):
+        self.directory = Path(directory).expanduser()
+        self._max_entries = max_entries
+        self.compact_ratio = float(compact_ratio)
+        self.compact_min_dead = int(compact_min_dead)
+        self._states: dict[str, _ShardState] = {}
+
+    # -- configuration -------------------------------------------------
+    @property
+    def max_entries(self) -> int | None:
+        """Per-shard live-entry cap (constructor value, else the env var)."""
+        if self._max_entries is not None:
+            return int(self._max_entries)
+        raw = os.environ.get(MAX_ENTRIES_ENV)
+        if not raw:
+            return None
+        try:
+            value = int(raw)
+        except ValueError:
+            raise CacheStoreError(
+                f"{MAX_ENTRIES_ENV}={raw!r} is not an integer") from None
+        return value if value > 0 else None
+
+    # -- shard naming ---------------------------------------------------
+    def _shard_filename(self, platform: str) -> str:
+        safe = re.sub(r"[^A-Za-z0-9_.-]", "_", platform)
+        return f"{SHARD_PREFIX}{safe}{SHARD_SUFFIX}"
+
+    def shard_path(self, platform: str) -> Path:
+        """The segment file a platform's entries land in.
+
+        Example::
+
+            path = store.shard_path("cpu")
+        """
+        return self.directory / self._shard_filename(platform)
+
+    def shard_paths(self) -> list[Path]:
+        """Every shard segment file currently in the store directory.
+
+        Example::
+
+            total = sum(p.stat().st_size for p in store.shard_paths())
+        """
+        if not self.directory.exists():
+            return []
+        return sorted(self.directory.glob(f"{SHARD_PREFIX}*{SHARD_SUFFIX}"))
+
+    def platforms(self) -> list[str]:
+        """Platforms with a readable shard, from the shard headers.
+
+        Example::
+
+            for platform in store.platforms():
+                entries = store.load_platform(platform)
+        """
+        names = []
+        for path in self.shard_paths():
+            try:
+                with open(path, "rb") as handle:
+                    prefix = handle.read(_HEADER.size)
+                    name, _ = self._parse_header(
+                        prefix + handle.read(256), path)
+            except CacheStoreError:
+                continue
+            names.append(name)
+        return names
+
+    # -- header ---------------------------------------------------------
+    def _parse_header(self, data: bytes, path: Path) -> tuple[str, int]:
+        if len(data) < _HEADER.size:
+            raise CacheStoreError(f"cache shard {path} is too short to carry "
+                                  f"a header; the file is not a shard")
+        magic, version, name_length = _HEADER.unpack_from(data)
+        if magic != SHARD_MAGIC:
+            raise CacheStoreError(f"{path} is not a cache shard "
+                                  f"(bad magic {magic!r})")
+        if version != STORE_FORMAT_VERSION:
+            raise CacheStoreError(
+                f"cache shard {path} has store format version {version}; "
+                f"this build reads version {STORE_FORMAT_VERSION}")
+        end = _HEADER.size + name_length
+        if len(data) < end:
+            raise CacheStoreError(f"cache shard {path} truncates its header")
+        return data[_HEADER.size:end].decode("utf-8"), end
+
+    def _header_bytes(self, platform: str) -> bytes:
+        name = platform.encode("utf-8")
+        return _HEADER.pack(SHARD_MAGIC, STORE_FORMAT_VERSION, len(name)) + name
+
+    # -- scanning (the read path; lock-free) ----------------------------
+    def _scan(self, platform: str,
+              state: _ShardState | None = None) -> _ShardState:
+        """Extend ``state`` over the shard's valid prefix (incremental).
+
+        Stops cleanly at the first truncated or CRC-failing record — a
+        torn tail from a crashed writer is skipped, not fatal — and
+        re-scans from scratch when the file was compacted out from under
+        us (the inode changed or the file shrank).
+        """
+        path = self.shard_path(platform)
+        if state is None:
+            state = _ShardState(platform=platform)
+        try:
+            stat = path.stat()
+        except FileNotFoundError:
+            return _ShardState(platform=platform)
+        stamp = (stat.st_ino, stat.st_dev, stat.st_size)
+        if state.stamp is not None and state.stamp[:2] != stamp[:2]:
+            state = _ShardState(platform=platform)   # compacted: new inode
+        elif stat.st_size < state.valid_offset:
+            state = _ShardState(platform=platform)   # shrank: rewritten
+        if stat.st_size == state.valid_offset and state.stamp is not None:
+            state.stamp = stamp
+            return state
+        with open(path, "rb") as handle:
+            handle.seek(state.valid_offset)
+            data = handle.read()
+        offset = 0
+        if state.valid_offset == 0:
+            if len(data) == 0:
+                state.stamp = stamp
+                return state
+            name, offset = self._parse_header(data, path)
+            if name != platform:
+                raise CacheStoreError(
+                    f"cache shard {path} holds platform '{name}', "
+                    f"not '{platform}'")
+        while True:
+            frame = data[offset:offset + _FRAME.size]
+            if len(frame) < _FRAME.size:
+                break
+            record_type, length, checksum = _FRAME.unpack(frame)
+            if length > _MAX_BODY_BYTES:
+                break
+            body = data[offset + _FRAME.size:offset + _FRAME.size + length]
+            if len(body) < length or crc32(body) != checksum:
+                break
+            if not self._absorb_record(state, record_type, body, path):
+                break
+            offset += _FRAME.size + length
+        state.valid_offset += offset
+        state.stamp = stamp
+        return state
+
+    def _absorb_record(self, state: _ShardState, record_type: int,
+                       body: bytes, path: Path) -> bool:
+        if record_type == _BATCH_RECORD:
+            if len(body) < _BATCH_COUNT.size:
+                return False
+            (count,) = _BATCH_COUNT.unpack_from(body)
+            if len(body) != _BATCH_COUNT.size + count * _ENTRY.size:
+                return False
+            state.add_batch(np.frombuffer(body, dtype=_ENTRY_DTYPE,
+                                          count=count, offset=_BATCH_COUNT.size))
+            return True
+        if record_type == _PROGRAM_RECORD:
+            if len(body) < _PROGRAM_ID.size:
+                return False
+            (program_id,) = _PROGRAM_ID.unpack_from(body)
+            if program_id != len(state.programs):
+                return False  # ids are dense append-order; anything else is rot
+            try:
+                document = json.loads(body[_PROGRAM_ID.size:])
+                program = program_from_dict(document)
+            except Exception:
+                return False
+            state.programs.append(program)
+            state.program_ids[_canonical_json(document)] = program_id
+            return True
+        if record_type == _SHAPE_RECORD:
+            if len(body) != _SHAPE_BODY.size:
+                return False
+            shape_id, *fields = _SHAPE_BODY.unpack(body)
+            if shape_id != len(state.shapes):
+                return False
+            state.shapes.append(ConvolutionShape(*fields))
+            state.shape_ids[tuple(fields)] = shape_id
+            return True
+        return False  # unknown record type: treat as torn tail
+
+    def _entries_array(self, state: _ShardState) -> np.ndarray:
+        if not state.batches:
+            return np.empty(0, dtype=_ENTRY_DTYPE)
+        if len(state.batches) == 1:
+            return state.batches[0]
+        merged = np.concatenate(state.batches)
+        state.batches = [merged]
+        return merged
+
+    def _materialise(self, state: _ShardState) -> dict[LatencyKey, float]:
+        array = self._entries_array(state)
+        if not len(array):
+            return {}
+        programs, shapes, platform = state.programs, state.shapes, state.platform
+        try:
+            keys = [(platform, shapes[shape], programs[program], trials, seed)
+                    for program, shape, trials, seed in zip(
+                        array["program"].tolist(), array["shape"].tolist(),
+                        array["trials"].tolist(), array["seed"].tolist())]
+        except IndexError:
+            raise CacheStoreError(
+                f"cache shard {self.shard_path(platform)} references an "
+                f"undefined program/shape record; the shard is corrupt") from None
+        return dict(zip(keys, array["latency"].tolist()))
+
+    def _digests(self, state: _ShardState) -> set[bytes]:
+        if state.digest_set is None:
+            state.digest_set = set()
+            for batch in state.batches:
+                state.digest_set.update(_batch_digests(batch))
+        return state.digest_set
+
+    # -- the public read path -------------------------------------------
+    def load_platform(self, platform: str) -> dict[LatencyKey, float]:
+        """All live entries of one platform's shard, as a plain dict.
+
+        This is the warm-start hot path: one incremental scan of the
+        segment file (no lock taken), then a vectorised rebuild of the
+        key tuples.  Repeated calls only parse bytes appended since the
+        last call.
+
+        Example::
+
+            entries = store.load_platform("cpu")
+        """
+        state = self._scan(platform, self._states.get(platform))
+        self._states[platform] = state
+        return self._materialise(state)
+
+    def load(self) -> dict[LatencyKey, float]:
+        """Every live entry across all shards (merge/export convenience).
+
+        Example::
+
+            everything = store.load()
+        """
+        merged: dict[LatencyKey, float] = {}
+        for platform in self.platforms():
+            merged.update(self.load_platform(platform))
+        return merged
+
+    def entry_count(self, platform: str | None = None) -> int:
+        """Live (unique-digest) entries in one shard, or the whole store.
+
+        Example::
+
+            assert store.entry_count("cpu") <= 10_000
+        """
+        platforms = [platform] if platform is not None else self.platforms()
+        total = 0
+        for name in platforms:
+            state = self._scan(name, self._states.get(name))
+            self._states[name] = state
+            total += len(self._digests(state))
+        return total
+
+    def __len__(self) -> int:
+        return self.entry_count()
+
+    def info(self) -> list[ShardInfo]:
+        """Per-shard headline numbers, tolerant of unreadable shards.
+
+        Example::
+
+            rows = [shard.to_dict() for shard in store.info()]
+        """
+        rows = []
+        for path in self.shard_paths():
+            size = path.stat().st_size
+            try:
+                with open(path, "rb") as handle:
+                    name, _ = self._parse_header(handle.read(
+                        _HEADER.size + 256), path)
+                state = self._scan(name, self._states.get(name))
+                self._states[name] = state
+                rows.append(ShardInfo(
+                    platform=name, path=path, bytes=size,
+                    entries=len(self._digests(state)),
+                    records=state.entry_records,
+                    format_version=STORE_FORMAT_VERSION))
+            except CacheStoreError as exc:
+                rows.append(ShardInfo(platform="?", path=path, bytes=size,
+                                      entries=-1, records=-1, format_version=-1,
+                                      error=str(exc)))
+        return rows
+
+    # -- locking --------------------------------------------------------
+    @contextlib.contextmanager
+    def _exclusive_lock(self, platform: str):
+        """The per-shard writer lock (``flock`` on a sidecar lock file).
+
+        The lock file — never the segment file — carries the lock, so
+        compaction can atomically replace the segment while holding it.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        lock_path = self.directory / (self._shard_filename(platform) + ".lock")
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+    # -- the write path -------------------------------------------------
+    def append(self, entries: Mapping[LatencyKey, float]) -> int:
+        """Append ``entries`` to their platform shards; returns new records.
+
+        Entries whose content digest a shard already holds are skipped,
+        so re-appending a warm cache is a no-op.  The append itself is a
+        single positional write under the shard's exclusive lock; before
+        writing, the writer absorbs whatever other processes appended
+        since its last scan and truncates any torn tail a crashed writer
+        left, so concurrent appends from any number of processes neither
+        collide nor lose records.
+
+        Example::
+
+            appended = store.append({key: 0.0012})
+        """
+        groups: dict[str, list[tuple[LatencyKey, float]]] = {}
+        for key, value in entries.items():
+            groups.setdefault(key[0], []).append((key, float(value)))
+        appended = 0
+        for platform, items in sorted(groups.items()):
+            appended += self._append_platform(platform, items)
+        return appended
+
+    def _append_platform(self, platform: str,
+                         items: list[tuple[LatencyKey, float]]) -> int:
+        path = self.shard_path(platform)
+        with self._exclusive_lock(platform):
+            state = self._scan(platform, self._states.get(platform))
+            self._states[platform] = state
+            known = self._digests(state)
+            buffer = bytearray()
+            if state.valid_offset == 0:
+                buffer += self._header_bytes(platform)
+            rows: list[bytes] = []
+            for key, value in items:
+                digest = key_digest(key)
+                if digest in known:
+                    continue
+                known.add(digest)
+                program_id = self._intern_program(state, key[2], buffer)
+                shape_id = self._intern_shape(state, key[1], buffer)
+                rows.append(_ENTRY.pack(digest, program_id, shape_id,
+                                        int(key[3]), int(key[4]), value))
+            if rows:
+                body = _BATCH_COUNT.pack(len(rows)) + b"".join(rows)
+                _frame(buffer, _BATCH_RECORD, body)
+            if buffer:
+                start = 0 if state.valid_offset == 0 else state.valid_offset
+                fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+                try:
+                    os.ftruncate(fd, start)  # drop a crashed writer's torn tail
+                    os.lseek(fd, start, os.SEEK_SET)
+                    os.write(fd, bytes(buffer))
+                    stat = os.fstat(fd)
+                finally:
+                    os.close(fd)
+                state.valid_offset = start + len(buffer)
+                state.stamp = (stat.st_ino, stat.st_dev, stat.st_size)
+                if rows:
+                    state.add_batch(np.frombuffer(
+                        b"".join(rows), dtype=_ENTRY_DTYPE))
+            self._maybe_compact_locked(state)
+        return len(rows)
+
+    def _intern_program(self, state: _ShardState, program: TransformProgram,
+                        buffer: bytearray) -> int:
+        text = _canonical_json(program_to_dict(program))
+        program_id = state.program_ids.get(text)
+        if program_id is None:
+            program_id = len(state.programs)
+            state.programs.append(program)
+            state.program_ids[text] = program_id
+            _frame(buffer, _PROGRAM_RECORD,
+                   _PROGRAM_ID.pack(program_id) + text.encode("utf-8"))
+        return program_id
+
+    def _intern_shape(self, state: _ShardState, shape: ConvolutionShape,
+                      buffer: bytearray) -> int:
+        fields = tuple(_shape_fields(shape))
+        shape_id = state.shape_ids.get(fields)
+        if shape_id is None:
+            shape_id = len(state.shapes)
+            state.shapes.append(shape)
+            state.shape_ids[fields] = shape_id
+            _frame(buffer, _SHAPE_RECORD, _SHAPE_BODY.pack(shape_id, *fields))
+        return shape_id
+
+    # -- compaction / eviction ------------------------------------------
+    def _maybe_compact_locked(self, state: _ShardState) -> None:
+        live = len(self._digests(state))
+        dead = state.entry_records - live
+        cap = self.max_entries
+        over_cap = cap is not None and live > cap
+        too_dead = (dead >= self.compact_min_dead and state.entry_records
+                    and dead / state.entry_records > self.compact_ratio)
+        if over_cap or too_dead:
+            self._compact_locked(state)
+
+    def _compact_locked(self, state: _ShardState) -> None:
+        """Rewrite the shard keeping the newest live record per digest.
+
+        Runs under the shard lock; the rewrite goes to a scratch file that
+        is atomically ``os.replace``d (and unlinked on failure), so
+        lock-free readers only ever see a complete old or new shard.
+        """
+        array = self._entries_array(state)
+        raw_digests = array["digest"].tobytes()
+        last_row: dict[bytes, int] = {}
+        for index in range(len(array)):
+            last_row[raw_digests[20 * index:20 * index + 20]] = index
+        keep = sorted(last_row.values())
+        cap = self.max_entries
+        if cap is not None and len(keep) > cap:
+            keep = keep[len(keep) - cap:]  # eviction: the newest survive
+        platform = state.platform
+        fresh = _ShardState(platform=platform)
+        buffer = bytearray(self._header_bytes(platform))
+        programs = array["program"].tolist()
+        shapes = array["shape"].tolist()
+        trials = array["trials"].tolist()
+        seeds = array["seed"].tolist()
+        values = array["latency"].tolist()
+        rows = []
+        for index in keep:
+            program_id = self._intern_program(fresh, state.programs[programs[index]], buffer)
+            shape_id = self._intern_shape(fresh, state.shapes[shapes[index]], buffer)
+            rows.append(_ENTRY.pack(raw_digests[20 * index:20 * index + 20],
+                                    program_id, shape_id, trials[index],
+                                    seeds[index], values[index]))
+        if rows:
+            _frame(buffer, _BATCH_RECORD, _BATCH_COUNT.pack(len(rows)) + b"".join(rows))
+        path = self.shard_path(platform)
+        scratch = path.with_name(path.name + f".tmp.{os.getpid()}")
+        try:
+            with open(scratch, "wb") as handle:
+                handle.write(bytes(buffer))
+            os.replace(scratch, path)
+        finally:
+            with contextlib.suppress(FileNotFoundError):
+                scratch.unlink()
+        self._states[platform] = self._scan(platform, None)
+
+    def compact(self, platform: str | None = None) -> dict[str, int]:
+        """Force a compaction rewrite; returns live entries per shard.
+
+        Example::
+
+            survivors = store.compact("cpu")
+        """
+        platforms = [platform] if platform is not None else self.platforms()
+        survivors = {}
+        for name in platforms:
+            with self._exclusive_lock(name):
+                state = self._scan(name, self._states.get(name))
+                self._states[name] = state
+                self._compact_locked(state)
+                survivors[name] = len(self._digests(self._states[name]))
+        return survivors
+
+    # -- fleet exchange -------------------------------------------------
+    def merge(self, other: "CacheStore") -> int:
+        """Absorb every entry of ``other`` this store does not yet hold.
+
+        Example::
+
+            new = mine.merge(CacheStore(worker_dir))
+        """
+        total = 0
+        for platform in other.platforms():
+            total += self.append(other.load_platform(platform))
+        return total
+
+    def export(self, path: str | Path) -> Path:
+        """Write every live entry to a portable JSON-lines envelope.
+
+        Example::
+
+            store.export("warm-cache.jsonl")
+        """
+        target = Path(path).expanduser()
+        entries = self.load()
+        target.parent.mkdir(parents=True, exist_ok=True)
+        scratch = target.with_name(target.name + f".tmp.{os.getpid()}")
+        try:
+            with open(scratch, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps({"schema": EXPORT_SCHEMA,
+                                         "entries": len(entries)}) + "\n")
+                for key, value in entries.items():
+                    document = canonical_key_document(key)
+                    document["latency_seconds"] = value
+                    handle.write(_canonical_json(document) + "\n")
+            os.replace(scratch, target)
+        finally:
+            with contextlib.suppress(FileNotFoundError):
+                scratch.unlink()
+        return target
+
+    def import_(self, path: str | Path) -> int:
+        """Absorb a :meth:`export` envelope; returns entries actually new.
+
+        Example::
+
+            new = store.import_("warm-cache.jsonl")
+        """
+        source = Path(path).expanduser()
+        with open(source, "r", encoding="utf-8") as handle:
+            header = json.loads(handle.readline() or "null")
+            if not isinstance(header, dict) or header.get("schema") != EXPORT_SCHEMA:
+                raise CacheStoreError(
+                    f"{source} is not a cache export (expected schema "
+                    f"'{EXPORT_SCHEMA}', got {header!r})")
+            entries: dict[LatencyKey, float] = {}
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                document = json.loads(line)
+                entries[key_from_document(document)] = float(
+                    document["latency_seconds"])
+        return self.append(entries)

@@ -20,9 +20,14 @@ Latency entries are keyed by ``(platform.name, shape, program,
 tuner_trials, seed)`` — everything the tuned latency depends on — so a
 cache can be persisted to disk (:meth:`EvaluationEngine.save_cache`) and
 safely reloaded by later runs, even runs against other platforms or tuner
-settings.  Fisher scores additionally depend on the profiled model and
-minibatch, so they are memoised per :class:`FisherOracle` (one oracle per
-Fisher profile) rather than persisted.
+settings.  The persistence backend is the sharded, content-addressed
+:class:`~repro.core.cache_store.CacheStore` (``cache_store=...``; any
+number of processes can share one warm directory), with the legacy
+monolithic pickle still accepted through ``cache_path=...`` and explicit
+``save_cache(path)`` / ``load_cache(path)`` calls.  Fisher scores
+additionally depend on the profiled model and minibatch, so they are
+memoised per :class:`FisherOracle` (one oracle per Fisher profile) rather
+than persisted.
 
 The engine also enforces stage 1 of the staged legality: every latency
 query is pre-screened through the transform program's structural legality
@@ -44,6 +49,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.core.cache_store import CacheStore
 from repro.core.compile_cache import COMPILE_CACHE, CompileCacheStatistics
 from repro.core.events import Observable
 from repro.core.program import LegalityReport, TransformProgram
@@ -228,6 +234,7 @@ class EvaluationEngine(Observable):
 
     def __init__(self, platform: PlatformSpec, *, tuner_trials: int = 8,
                  seed: int | None = 0, cache_path: str | Path | None = None,
+                 cache_store: CacheStore | str | Path | None = None,
                  parallel: str = "serial", max_workers: int | None = None):
         super().__init__()
         if tuner_trials < 1:
@@ -235,18 +242,31 @@ class EvaluationEngine(Observable):
         if parallel not in PARALLEL_MODES:
             raise EngineError(
                 f"unknown parallel mode '{parallel}'; expected one of {PARALLEL_MODES}")
+        if cache_path is not None and cache_store is not None:
+            raise EngineError("pass either cache_path (legacy monolithic "
+                              "pickle) or cache_store (sharded store), not both")
         self.platform = platform
         self.tuner_trials = tuner_trials
         self.seed = 0 if seed is None else int(seed)
         self.parallel = parallel
         self.max_workers = max_workers
         self.cache_path = Path(cache_path) if cache_path is not None else None
+        if cache_store is not None and not isinstance(cache_store, CacheStore):
+            cache_store = CacheStore(cache_store)
+        self.cache_store: CacheStore | None = cache_store
         self.statistics = EngineStatistics()
         self._latency_cache: dict[LatencyKey, float] = {}
+        #: keys added since the store was last synchronised (the sharded
+        #: backend appends exactly these instead of rewriting everything).
+        self._pending: list[LatencyKey] = []
         self._pools: dict[tuple[str, int | None], object] = {}
         self._cache_dirty = False
         self._synced_path: Path | None = None
-        if self.cache_path is not None and self.cache_path.exists():
+        if self.cache_store is not None:
+            loaded = self._merge_entries(
+                self.cache_store.load_platform(self.platform.name))
+            self.statistics.loaded_entries += loaded
+        elif self.cache_path is not None and self.cache_path.exists():
             self.load_cache(self.cache_path)
             # The constructor load leaves memory and file identical, so the
             # first save to the same path can be skipped entirely.
@@ -380,6 +400,7 @@ class EvaluationEngine(Observable):
                                       key[3], self.seed))
         self.statistics.tuner_calls += calls
         self._latency_cache[key] = seconds
+        self._pending.append(key)
         self._cache_dirty = True
         return seconds
 
@@ -451,6 +472,7 @@ class EvaluationEngine(Observable):
                 outcomes = list(pool.map(_tune_entry, tasks))
             for key, (seconds, calls) in zip(missing, outcomes):
                 self._latency_cache[key] = seconds
+                self._pending.append(key)
                 self.statistics.tuner_calls += calls
             self._cache_dirty = True
         self.statistics.latency_misses += len(items) - hits
@@ -488,31 +510,72 @@ class EvaluationEngine(Observable):
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save_cache(self, path: str | Path | None = None) -> Path:
-        """Write the latency cache to disk (pickle; keys carry full context).
+    def _merge_entries(self, entries, *, remember: bool = False) -> int:
+        """Merge ``entries`` into memory; in-memory entries win on conflict.
 
-        Incremental: when nothing was added since the cache was last
-        synchronised with ``target`` (saved to it, or loaded from it at
-        construction), the write is skipped entirely — drivers can call
-        ``save_cache`` after every search without rewriting an unchanged
-        store each time.
+        With ``remember`` the newly merged keys join the pending-append
+        set, so a store-backed engine pushes them into its shards on the
+        next :meth:`save_cache` (the legacy-pickle import path).
         """
+        cache = self._latency_cache
+        if not cache:
+            # Warm start into an empty engine: bulk-insert without the
+            # per-key membership checks (there is nothing to conflict with).
+            cache.update(entries)
+            if remember:
+                self._pending.extend(entries)
+            return len(cache)
+        loaded = 0
+        for key, seconds in entries.items():
+            if key not in cache:
+                cache[key] = seconds
+                loaded += 1
+                if remember:
+                    self._pending.append(key)
+        return loaded
+
+    def save_cache(self, path: str | Path | None = None) -> Path:
+        """Synchronise the latency cache to its persistence backend.
+
+        Without an explicit ``path``, a store-backed engine appends the
+        entries tuned since the last save to its sharded
+        :class:`~repro.core.cache_store.CacheStore` (an append of only the
+        new records, under the shard lock, deduped by content digest) and
+        returns the store directory.  Otherwise the legacy monolithic
+        pickle is written to ``path`` / the configured ``cache_path`` —
+        skipped entirely when nothing changed since the target was last
+        synchronised, so drivers can call ``save_cache`` after every
+        search without rewriting an unchanged store.
+        """
+        if path is None and self.cache_store is not None:
+            if self._pending:
+                pending = {key: self._latency_cache[key]
+                           for key in self._pending
+                           if key in self._latency_cache}
+                self.cache_store.append(pending)
+                self._pending.clear()
+            return self.cache_store.directory
         target = Path(path) if path is not None else self.cache_path
         if target is None:
             raise EngineError(
                 "save_cache() has no target: pass an explicit path, or construct "
-                "the engine with cache_path=... (OptimizationSession does this "
-                "automatically when given a cache_dir)")
+                "the engine with cache_path=... or cache_store=... "
+                "(OptimizationSession does this automatically when given a "
+                "cache_dir)")
         if not self._cache_dirty and target == self._synced_path and target.exists():
             return target
         target.parent.mkdir(parents=True, exist_ok=True)
         payload = {"version": CACHE_FORMAT_VERSION, "entries": dict(self._latency_cache)}
         # Write-then-rename so concurrent readers (other processes sharing the
-        # cache) never observe a truncated file.
+        # cache) never observe a truncated file; the scratch file is removed
+        # even when pickling fails mid-write.
         scratch = target.with_name(target.name + f".tmp.{os.getpid()}")
-        with open(scratch, "wb") as handle:
-            pickle.dump(payload, handle)
-        os.replace(scratch, target)
+        try:
+            with open(scratch, "wb") as handle:
+                pickle.dump(payload, handle)
+            os.replace(scratch, target)
+        finally:
+            scratch.unlink(missing_ok=True)
         self._cache_dirty = False
         self._synced_path = target
         return target
@@ -521,8 +584,18 @@ class EvaluationEngine(Observable):
         """Merge a persisted cache into this engine; returns entries loaded.
 
         In-memory entries win on conflict — they were computed by this very
-        engine, the file may predate it.
+        engine, the file may predate it.  Without an explicit ``path``, a
+        store-backed engine re-scans its platform shard (absorbing what
+        other processes appended since the last look); otherwise the
+        source is a legacy monolithic pickle, whose entries additionally
+        join the pending set so the next :meth:`save_cache` appends them
+        into the store.
         """
+        if path is None and self.cache_store is not None:
+            loaded = self._merge_entries(
+                self.cache_store.load_platform(self.platform.name))
+            self.statistics.loaded_entries += loaded
+            return loaded
         source = Path(path) if path is not None else self.cache_path
         if source is None:
             raise EngineError("no cache path given and the engine has none configured")
@@ -546,11 +619,8 @@ class EvaluationEngine(Observable):
             raise EngineError(
                 f"engine cache at {source} has format version {version}; "
                 f"this build reads version {CACHE_FORMAT_VERSION}")
-        loaded = 0
-        for key, seconds in entries.items():
-            if key not in self._latency_cache:
-                self._latency_cache[key] = seconds
-                loaded += 1
+        loaded = self._merge_entries(entries,
+                                     remember=self.cache_store is not None)
         if loaded:
             # Conservative: merged entries may not be in the synced target.
             self._cache_dirty = True

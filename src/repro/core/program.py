@@ -550,6 +550,27 @@ class TransformProgram:
     name: str = field(default="standard", compare=False)
     steps: tuple[PrimitiveApplication, ...] = ()
 
+    def __hash__(self) -> int:
+        # Programs are hashed millions of times as engine cache keys but
+        # hold only a handful of distinct values per search; memoise the
+        # (eq-consistent: steps only, never the display name) hash.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(self.steps)
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # The memoised hash depends on PYTHONHASHSEED and must never
+        # cross a process boundary (step content hashes are stable).
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state):
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     # ------------------------------------------------------------------
     # Descriptions
     # ------------------------------------------------------------------

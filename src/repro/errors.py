@@ -62,6 +62,14 @@ class EngineError(ReproError):
     """Raised when the evaluation engine is misconfigured or its cache is corrupt."""
 
 
+class CacheStoreError(EngineError):
+    """Raised when a sharded tuning-cache store is unreadable or misused.
+
+    Subclasses :class:`EngineError` so callers that already guard the
+    engine's persistence path catch store failures unchanged.
+    """
+
+
 class ModelError(ReproError):
     """Raised when a neural-network model definition is invalid."""
 

@@ -91,6 +91,27 @@ class ConvolutionShape:
     groups: int = 1
     stride: int = 1
 
+    def __hash__(self) -> int:
+        # Shapes are hashed once per engine-cache lookup; the store's
+        # warm-start path interns a few hundred shape objects and hashes
+        # each thousands of times, so the hash is memoised per instance.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.c_out, self.c_in, self.h_out, self.w_out,
+                           self.k_h, self.k_w, self.groups, self.stride))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # The memoised hash depends on PYTHONHASHSEED; never persist it.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state):
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+
     def macs(self) -> int:
         """Multiply-accumulate count of the (possibly grouped) convolution."""
         return (self.c_out * (self.c_in // self.groups) * self.h_out * self.w_out

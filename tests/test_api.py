@@ -166,8 +166,8 @@ class TestSessionLifecycle:
                 engine.tune_many([], parallel="thread")  # spin a pool up
                 raise RuntimeError("boom")
         assert session.closed
-        stores = list(tmp_path.glob("engine-*.pkl"))
-        assert len(stores) == 1
+        shards = list(tmp_path.glob("shard-*.rcs"))
+        assert len(shards) == 1
         assert not engine._pools  # worker pools shut down
 
     def test_cache_warm_start_across_sessions(self, tmp_path):

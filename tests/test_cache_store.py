@@ -1,0 +1,382 @@
+"""Tests for the sharded, content-addressed tuning-cache store."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pickle
+import struct
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.cache_store import (
+    EXPORT_SCHEMA,
+    SHARD_MAGIC,
+    STORE_FORMAT_VERSION,
+    CacheStore,
+    canonical_key_document,
+    is_store_file,
+    key_digest,
+    key_from_document,
+)
+from repro.core.engine import CACHE_FORMAT_VERSION, EvaluationEngine
+from repro.core.sequences import predefined_program
+from repro.errors import CacheStoreError, EngineError
+from repro.hardware import get_platform
+from repro.poly.statement import ConvolutionShape
+from repro.tenir.autotune import AutoTuner
+
+
+def _entries(n: int = 20, platform: str = "cpu", trials: int = 3,
+             seed: int = 0) -> dict:
+    programs = (predefined_program("standard"),
+                predefined_program("group", group=2))
+    entries = {}
+    for i in range(n):
+        shape = ConvolutionShape(8 * (1 + i % 2), 8, 4 + 2 * (i % 3),
+                                 4 + 2 * (i % 3), 3, 3)
+        key = (platform, shape, programs[i % 2], trials + i // 6, seed)
+        entries[key] = 0.001 * (i + 1)
+    return entries
+
+
+@pytest.fixture
+def tune_counter(monkeypatch):
+    calls = {"count": 0}
+    original = AutoTuner.tune
+
+    def counted(self, computation, platform):
+        calls["count"] += 1
+        return original(self, computation, platform)
+
+    monkeypatch.setattr(AutoTuner, "tune", counted)
+    return calls
+
+
+class TestContentAddressing:
+    def test_key_document_round_trip(self):
+        key = next(iter(_entries(1)))
+        assert key_from_document(canonical_key_document(key)) == key
+        assert key_from_document(
+            json.loads(json.dumps(canonical_key_document(key)))) == key
+
+    def test_digest_ignores_the_program_display_name(self):
+        key = next(iter(_entries(1)))
+        renamed = dataclasses.replace(key[2], name="something-else")
+        assert key_digest(key) == key_digest(
+            (key[0], key[1], renamed, key[3], key[4]))
+
+    def test_digest_covers_every_key_axis(self):
+        keys = list(_entries(20))
+        digests = {key_digest(key) for key in keys}
+        assert len(digests) == len(keys)
+
+
+class TestRoundTrip:
+    def test_append_and_load(self, tmp_path):
+        entries = _entries(20)
+        store = CacheStore(tmp_path)
+        assert store.append(entries) == 20
+        fresh = CacheStore(tmp_path)
+        assert fresh.load_platform("cpu") == entries
+        assert len(fresh) == 20
+
+    def test_append_dedupes_by_digest(self, tmp_path):
+        entries = _entries(12)
+        store = CacheStore(tmp_path)
+        assert store.append(entries) == 12
+        assert store.append(entries) == 0
+        # A second process sharing the directory dedupes too.
+        assert CacheStore(tmp_path).append(entries) == 0
+        assert CacheStore(tmp_path).load_platform("cpu") == entries
+
+    def test_renamed_program_dedupes(self, tmp_path):
+        entries = _entries(1)
+        store = CacheStore(tmp_path)
+        store.append(entries)
+        key = next(iter(entries))
+        renamed = (key[0], key[1], dataclasses.replace(key[2], name="alias"),
+                   key[3], key[4])
+        assert store.append({renamed: 9.9}) == 0
+        assert CacheStore(tmp_path).load_platform("cpu") == entries
+
+    def test_shard_per_platform(self, tmp_path):
+        store = CacheStore(tmp_path)
+        cpu, gpu = _entries(6, "cpu"), _entries(6, "gpu")
+        store.append({**cpu, **gpu})
+        assert (tmp_path / "shard-cpu.rcs").exists()
+        assert (tmp_path / "shard-gpu.rcs").exists()
+        fresh = CacheStore(tmp_path)
+        assert fresh.load_platform("cpu") == cpu
+        assert fresh.load_platform("gpu") == gpu
+        assert sorted(fresh.platforms()) == ["cpu", "gpu"]
+        assert fresh.load() == {**cpu, **gpu}
+
+    def test_incremental_rescan_picks_up_other_writers(self, tmp_path):
+        reader = CacheStore(tmp_path)
+        first, second = _entries(6, seed=0), _entries(6, seed=1)
+        CacheStore(tmp_path).append(first)
+        assert reader.load_platform("cpu") == first
+        CacheStore(tmp_path).append(second)
+        assert reader.load_platform("cpu") == {**first, **second}
+
+    def test_info(self, tmp_path):
+        store = CacheStore(tmp_path)
+        store.append(_entries(9))
+        (shard,) = store.info()
+        assert shard.platform == "cpu"
+        assert shard.entries == 9
+        assert shard.records == 9
+        assert shard.dead_records == 0
+        assert shard.format_version == STORE_FORMAT_VERSION
+        assert shard.error is None
+        assert shard.to_dict()["entries"] == 9
+
+
+class TestEngineIntegration:
+    def test_warm_start_and_exact_accounting(self, tmp_path, tune_counter):
+        platform = get_platform("cpu")
+        engine = EvaluationEngine(platform, tuner_trials=3, seed=0,
+                                  cache_store=str(tmp_path))
+        items = [(ConvolutionShape(8, 8, 6, 6, 3, 3),
+                  predefined_program("standard")),
+                 (ConvolutionShape(16, 8, 6, 6, 3, 3),
+                  predefined_program("group", group=2))]
+        reference = engine.tune_many(items + items)
+        # in-batch duplicates of a missing key count as misses (documented)
+        assert engine.statistics.latency_misses == 4
+        assert engine.statistics.latency_hits == 0
+        assert engine.save_cache() == tmp_path
+        cold_calls = tune_counter["count"]
+
+        warm = EvaluationEngine(platform, tuner_trials=3, seed=0,
+                                cache_store=str(tmp_path))
+        assert warm.statistics.loaded_entries == engine.cache_size
+        assert warm.tune_many(items + items) == reference
+        assert tune_counter["count"] == cold_calls, "warm start must not re-tune"
+        # hit/miss accounting is identical to a warm in-process engine
+        assert warm.statistics.latency_hits == 4
+        assert warm.statistics.latency_misses == 0
+
+    def test_save_appends_only_pending_entries(self, tmp_path):
+        platform = get_platform("cpu")
+        engine = EvaluationEngine(platform, tuner_trials=3, seed=0,
+                                  cache_store=str(tmp_path))
+        engine.tuned_latency(ConvolutionShape(8, 8, 6, 6, 3, 3),
+                             predefined_program("standard"))
+        engine.save_cache()
+        size = (tmp_path / "shard-cpu.rcs").stat().st_size
+        engine.save_cache()  # nothing pending: the shard must not grow
+        assert (tmp_path / "shard-cpu.rcs").stat().st_size == size
+
+    def test_load_cache_rescans_the_store(self, tmp_path):
+        platform = get_platform("cpu")
+        engine = EvaluationEngine(platform, tuner_trials=3, seed=0,
+                                  cache_store=str(tmp_path))
+        entries = {engine.latency_key(shape, program): value
+                   for (name, shape, program, trials, seed), value
+                   in _entries(6).items()}
+        CacheStore(tmp_path).append(entries)
+        assert engine.load_cache() == len(entries)
+        assert engine.statistics.loaded_entries == len(entries)
+
+    def test_cache_path_and_store_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(EngineError, match="not both"):
+            EvaluationEngine(get_platform("cpu"),
+                             cache_path=tmp_path / "x.pkl",
+                             cache_store=str(tmp_path))
+
+
+class TestCorruptionTolerance:
+    def test_version_gate(self, tmp_path):
+        path = tmp_path / "shard-cpu.rcs"
+        path.write_bytes(struct.pack("<8sIH", SHARD_MAGIC,
+                                     STORE_FORMAT_VERSION + 1, 3) + b"cpu")
+        with pytest.raises(CacheStoreError, match="format version"):
+            CacheStore(tmp_path).load_platform("cpu")
+        (info,) = CacheStore(tmp_path).info()
+        assert info.error is not None and info.entries == -1
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "shard-cpu.rcs"
+        path.write_bytes(b"NOTACACHESTOREFILE")
+        with pytest.raises(CacheStoreError, match="magic"):
+            CacheStore(tmp_path).load_platform("cpu")
+        assert not is_store_file(path)
+
+    def test_truncated_tail_is_skipped_then_healed(self, tmp_path):
+        entries = _entries(10)
+        CacheStore(tmp_path).append(entries)
+        path = tmp_path / "shard-cpu.rcs"
+        whole = path.read_bytes()
+        path.write_bytes(whole[:-7])  # a crashed writer's torn tail
+        survivors = CacheStore(tmp_path).load_platform("cpu")
+        assert len(survivors) < len(entries)
+        assert all(entries[key] == value for key, value in survivors.items())
+        # The next locked append truncates the tail and restores the rest.
+        CacheStore(tmp_path).append(entries)
+        assert CacheStore(tmp_path).load_platform("cpu") == entries
+
+    def test_mid_file_corruption_stops_the_scan_cleanly(self, tmp_path):
+        first, second = _entries(5, seed=0), _entries(5, seed=1)
+        CacheStore(tmp_path).append(first)
+        boundary = (tmp_path / "shard-cpu.rcs").stat().st_size
+        CacheStore(tmp_path).append(second)
+        path = tmp_path / "shard-cpu.rcs"
+        raw = bytearray(path.read_bytes())
+        raw[boundary + 12] ^= 0xFF  # flip a byte inside the second batch
+        path.write_bytes(bytes(raw))
+        survivors = CacheStore(tmp_path).load_platform("cpu")
+        assert survivors == first
+
+    def test_wrong_platform_header_rejected(self, tmp_path):
+        CacheStore(tmp_path).append(_entries(1, "gpu"))
+        (tmp_path / "shard-gpu.rcs").rename(tmp_path / "shard-cpu.rcs")
+        with pytest.raises(CacheStoreError, match="holds platform"):
+            CacheStore(tmp_path).load_platform("cpu")
+
+    def test_is_store_file_recognises_own_artefacts(self, tmp_path):
+        CacheStore(tmp_path).append(_entries(1))
+        assert is_store_file(tmp_path / "shard-cpu.rcs")
+        assert is_store_file(tmp_path / "shard-cpu.rcs.lock")
+        assert is_store_file(tmp_path / "shard-cpu.rcs.tmp.123")
+        (tmp_path / "shard-fake.rcs").write_bytes(b"not a shard at all")
+        assert not is_store_file(tmp_path / "shard-fake.rcs")
+        assert not is_store_file(tmp_path / "engine-cpu-t3-s0.pkl")
+
+
+class TestCompactionAndEviction:
+    def test_explicit_compaction_preserves_entries(self, tmp_path):
+        entries = _entries(20)
+        store = CacheStore(tmp_path)
+        for i in range(0, 20, 2):  # many small appends: many records
+            batch = dict(list(entries.items())[i:i + 2])
+            store.append(batch)
+        before = (tmp_path / "shard-cpu.rcs").stat().st_size
+        assert store.compact("cpu") == {"cpu": 20}
+        assert (tmp_path / "shard-cpu.rcs").stat().st_size <= before
+        assert CacheStore(tmp_path).load_platform("cpu") == entries
+        # The compacting store's own state survives the inode change.
+        assert store.load_platform("cpu") == entries
+
+    def test_max_entries_evicts_oldest(self, tmp_path):
+        entries = _entries(25)
+        store = CacheStore(tmp_path, max_entries=10)
+        store.append(entries)
+        survivors = CacheStore(tmp_path).load_platform("cpu")
+        newest = dict(list(entries.items())[-10:])
+        assert survivors == newest
+
+    def test_max_entries_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "7")
+        store = CacheStore(tmp_path)
+        assert store.max_entries == 7
+        store.append(_entries(20))
+        assert CacheStore(tmp_path).entry_count("cpu") == 7
+
+    def test_bad_env_var_raises(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "lots")
+        with pytest.raises(CacheStoreError, match="not an integer"):
+            CacheStore(tmp_path).max_entries
+
+
+class TestFleetExchange:
+    def test_merge(self, tmp_path):
+        mine = CacheStore(tmp_path / "mine")
+        theirs = CacheStore(tmp_path / "theirs")
+        shared, private = _entries(6, seed=0), _entries(6, seed=1)
+        mine.append(shared)
+        theirs.append({**shared, **private})
+        assert mine.merge(theirs) == len(private)
+        assert CacheStore(tmp_path / "mine").load() == {**shared, **private}
+
+    def test_export_import_round_trip(self, tmp_path):
+        entries = {**_entries(8, "cpu"), **_entries(8, "gpu")}
+        store = CacheStore(tmp_path / "src")
+        store.append(entries)
+        envelope = store.export(tmp_path / "warm.jsonl")
+        header = json.loads(envelope.read_text().splitlines()[0])
+        assert header["schema"] == EXPORT_SCHEMA
+        assert header["entries"] == len(entries)
+        target = CacheStore(tmp_path / "dst")
+        assert target.import_(envelope) == len(entries)
+        assert target.import_(envelope) == 0
+        assert CacheStore(tmp_path / "dst").load() == entries
+
+    def test_import_rejects_non_envelopes(self, tmp_path):
+        bogus = tmp_path / "bogus.jsonl"
+        bogus.write_text('{"schema": "something/9"}\n')
+        with pytest.raises(CacheStoreError, match="not a cache export"):
+            CacheStore(tmp_path).import_(bogus)
+
+
+class TestLegacyPickles:
+    def _legacy_engine(self, tmp_path, tune_counter=None):
+        platform = get_platform("cpu")
+        path = tmp_path / "engine-cpu-t3-s0.pkl"
+        engine = EvaluationEngine(platform, tuner_trials=3, seed=0,
+                                  cache_path=path)
+        engine.tuned_latency(ConvolutionShape(8, 8, 6, 6, 3, 3),
+                             predefined_program("standard"))
+        engine.save_cache()
+        return engine, path
+
+    def test_save_cache_failure_leaves_no_scratch_file(self, tmp_path,
+                                                       monkeypatch):
+        engine, path = self._legacy_engine(tmp_path)
+        good = path.read_bytes()
+        engine.tuned_latency(ConvolutionShape(16, 8, 6, 6, 3, 3),
+                             predefined_program("standard"))
+
+        def explode(payload, handle):
+            handle.write(b"partial")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(pickle, "dump", explode)
+        with pytest.raises(OSError, match="disk full"):
+            engine.save_cache()
+        assert list(tmp_path.glob("*.tmp.*")) == []
+        assert path.read_bytes() == good, "the synced store must be untouched"
+
+    def test_migrate_cli_upgrades_in_place(self, tmp_path, capsys,
+                                           tune_counter):
+        engine, path = self._legacy_engine(tmp_path)
+        cold_calls = tune_counter["count"]
+        assert cli_main(["cache", "migrate", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "migrated 1 legacy pickle(s)" in out
+        assert not path.exists()
+        assert (tmp_path / "shard-cpu.rcs").exists()
+        warm = EvaluationEngine(get_platform("cpu"), tuner_trials=3, seed=0,
+                                cache_store=str(tmp_path))
+        assert warm.statistics.loaded_entries == engine.cache_size
+        warm.tuned_latency(ConvolutionShape(8, 8, 6, 6, 3, 3),
+                           predefined_program("standard"))
+        assert tune_counter["count"] == cold_calls
+
+    def test_migrate_keep_flag_and_bad_pickles(self, tmp_path, capsys):
+        _, path = self._legacy_engine(tmp_path)
+        stale = tmp_path / "engine-cpu-t9-s9.pkl"
+        with open(stale, "wb") as handle:
+            pickle.dump({"version": CACHE_FORMAT_VERSION - 1, "entries": {}},
+                        handle)
+        assert cli_main(["cache", "migrate", "--cache-dir", str(tmp_path),
+                         "--keep"]) == 0
+        captured = capsys.readouterr()
+        assert path.exists() and stale.exists()
+        assert "1 skipped" in captured.out
+        assert "skipped engine-cpu-t9-s9.pkl" in captured.err
+
+    def test_export_import_cli(self, tmp_path, capsys):
+        source, target = tmp_path / "a", tmp_path / "b"
+        CacheStore(source).append(_entries(5))
+        envelope = tmp_path / "warm.jsonl"
+        assert cli_main(["cache", "export", str(envelope),
+                         "--cache-dir", str(source)]) == 0
+        assert cli_main(["cache", "import", str(envelope),
+                         "--cache-dir", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "exported 5 entries" in out
+        assert "imported 5 new entries" in out
+        assert CacheStore(target).load() == CacheStore(source).load()

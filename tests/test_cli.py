@@ -139,17 +139,22 @@ class TestCache:
         run_cli(capsys, "optimize", "--model", "resnet18",
                 "--cache-dir", str(tmp_path), *TINY_OPTIMIZE)
         info = run_cli(capsys, "cache", "info", "--cache-dir", str(tmp_path))
-        assert "entries" in info and "engine-cpu" in info
+        assert "entries" in info and "shard-cpu" in info
         payload = json.loads(run_cli(capsys, "cache", "info",
                                      "--cache-dir", str(tmp_path), "--json"))
         rows = payload["stores"]
         assert len(rows) == 1 and rows[0]["entries"] > 0
+        assert rows[0]["platform"] == "cpu"
         # The process-local compile trie is reported alongside the stores.
         compile_info = payload["compile_cache"]
         assert compile_info["max_entries"] > 0
         assert compile_info["compile_misses"] >= 0
+        # clear deletes only recognised store files and reports the rest.
+        (tmp_path / "notes.txt").write_text("precious")
         out = run_cli(capsys, "cache", "clear", "--cache-dir", str(tmp_path))
-        assert "removed 1" in out
+        assert "removed 2 cache store file(s)" in out  # segment + lock file
+        assert "skipped notes.txt" in out
+        assert (tmp_path / "notes.txt").exists()
         assert "no engine cache stores" in run_cli(
             capsys, "cache", "info", "--cache-dir", str(tmp_path))
 
@@ -160,9 +165,9 @@ class TestCache:
     def test_env_var_is_the_default_cache_dir(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         run_cli(capsys, "tune", "--shape", "8x8x6x6x3x3", "--trials", "3")
-        assert list(tmp_path.glob("engine-*.pkl"))
+        assert list(tmp_path.glob("shard-*.rcs"))
         # `cache info` inspects the same default location.
-        assert "engine-cpu" in run_cli(capsys, "cache", "info")
+        assert "shard-cpu" in run_cli(capsys, "cache", "info")
 
 
 class TestTopLevel:
