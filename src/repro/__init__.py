@@ -29,23 +29,30 @@ from repro.api import (
     optimize,
     program_from_dict,
     program_to_dict,
+    resume_checkpoint,
     tune,
 )
 from repro.core.cache_store import CacheStore
+from repro.core.checkpoint import SearchCheckpoint, read_checkpoint
 from repro.core.encoding import FEATURE_NAMES, encode_candidate
-from repro.core.engine import EvaluationEngine
+from repro.core.engine import EvaluationEngine, SupervisionPolicy
 from repro.core.events import Observable, Observer, ProgressEvent
+from repro.core.faults import FaultPlan
 from repro.core.predictor import LatencyPredictor
 from repro.core.program import TransformProgram, step
 from repro.core.search import UnifiedSearch, UnifiedSearchResult
 from repro.core.sequences import predefined_program
 from repro.core.unified_space import UnifiedSpaceConfig
-from repro.errors import ReproError
+from repro.errors import (
+    CheckpointError,
+    DegradedExecutionWarning,
+    ReproError,
+)
 from repro.hardware.platform import PlatformSpec, get_platform
 from repro.poly.statement import ConvolutionShape
 
 #: Single-source package version (setup.py reads it from this file).
-__version__ = "0.6.0"
+__version__ = "0.7.0"
 
 #: The supported public surface.  Additions are backwards-compatible;
 #: removals or renames require a major version bump (DESIGN.md §9).
@@ -67,7 +74,10 @@ __all__ = [
     "UnifiedSpaceConfig",
     # the predictor-guided search subsystem
     "LatencyPredictor", "encode_candidate", "FEATURE_NAMES",
+    # fault tolerance: checkpoint/resume, supervised execution, injection
+    "resume_checkpoint", "SearchCheckpoint", "read_checkpoint",
+    "SupervisionPolicy", "FaultPlan",
     # errors
-    "ReproError",
+    "ReproError", "CheckpointError", "DegradedExecutionWarning",
     "__version__",
 ]

@@ -33,6 +33,7 @@ See DESIGN.md §9 for the façade architecture and the stability policy.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
@@ -67,7 +68,7 @@ from repro.poly.statement import ConvolutionShape
 #: name must carry an example-bearing docstring).
 __all__ = [
     "OptimizationSession", "OptimizationRequest", "OptimizationResult",
-    "LayerDecision", "TuningResult", "optimize", "tune",
+    "LayerDecision", "TuningResult", "optimize", "tune", "resume_checkpoint",
     "build_model", "MODEL_BUILDERS", "list_platforms", "list_sequences",
     "program_to_dict", "program_from_dict", "resolve_program",
     "resolve_shape", "default_cache_dir", "env_cache_dir", "CacheStore",
@@ -568,7 +569,9 @@ class OptimizationSession:
                  fisher_threshold: float | None = None,
                  seed: int | None = None, width_multiplier: float | None = None,
                  image_size: int | None = None, fisher_batch: int | None = None,
-                 observer: Observer | None = None) -> OptimizationResult:
+                 observer: Observer | None = None,
+                 checkpoint: str | Path | None = None,
+                 checkpoint_interval: float = 0.0) -> OptimizationResult:
         """Run the unified search for one model on one platform.
 
         Either pass a prebuilt ``request`` (every knob as data), or the
@@ -577,6 +580,12 @@ class OptimizationSession:
         override the corresponding request fields (re-validated).
         ``model`` may be a zoo name or a live
         :class:`~repro.nn.module.Module`.
+
+        ``checkpoint`` names a file to persist the search's resume point
+        to (atomically, after every tuning batch, rate-limited to one
+        write per ``checkpoint_interval`` seconds): a killed run continues
+        with :func:`resume_checkpoint` / ``repro resume`` to the
+        bit-identical result an uninterrupted run would have produced.
         """
         if budget is not None and configurations is not None and budget != configurations:
             raise ReproError("pass either budget or configurations, not both")
@@ -619,7 +628,22 @@ class OptimizationSession:
             fisher_threshold=request.fisher_threshold, strategy=request.strategy,
             space=UnifiedSpaceConfig(seed=request.seed), seed=request.seed,
             engine=engine, observer=observer or self.observer)
-        outcome = search.search(instance, images, labels, dataset.spec.image_shape)
+        writer = None
+        if checkpoint is not None:
+            from repro.core.checkpoint import CheckpointWriter
+
+            writer = CheckpointWriter(checkpoint, request.to_dict(), engine,
+                                      interval_seconds=checkpoint_interval)
+            engine.subscribe(writer.on_event)
+            writer.write()  # the resume point exists before any tuning
+        try:
+            outcome = search.search(instance, images, labels,
+                                    dataset.spec.image_shape)
+        finally:
+            if writer is not None:
+                engine.unsubscribe(writer.on_event)
+        if writer is not None:
+            writer.write(completed=True)
         engine_statistics = dataclasses.asdict(engine.statistics)
         engine_statistics["latency_hit_rate"] = engine.statistics.latency_hit_rate
         return OptimizationResult.from_search(
@@ -680,12 +704,17 @@ class OptimizationSession:
     def __exit__(self, exc_type, exc, tb) -> None:
         try:
             self.close()
-        except Exception:
+        except (ReproError, OSError) as close_error:
             # Pools are already shut down; a cache-write failure must not
             # mask the body's own exception mid-unwind.  On a clean exit
             # it is the caller's only signal, so let it propagate.
             if exc_type is None:
                 raise
+            warnings.warn(
+                f"session close failed while the body was already raising; "
+                f"the cache write-back error was suppressed so the original "
+                f"exception propagates: {close_error}",
+                RuntimeWarning, stacklevel=2)
 
 
 # ---------------------------------------------------------------------------
@@ -696,11 +725,16 @@ def optimize(model: Module | str = "resnet34", *, platform: str = "cpu",
              seed: int = 0, fisher_threshold: float = 1.0,
              width: float = 0.25, image_size: int = 16, fisher_batch: int = 4,
              cache_dir: str | Path | None = None,
-             observer: Observer | None = None) -> OptimizationResult:
+             observer: Observer | None = None,
+             checkpoint: str | Path | None = None,
+             checkpoint_interval: float = 0.0) -> OptimizationResult:
     """One-call façade over the unified search (the README example).
 
     Builds a session for the call, runs the search, and guarantees the
     engine teardown (cache write-back, pool shutdown) before returning.
+    With ``checkpoint=``, the search persists its resume point after
+    every tuning batch, so a killed run continues bit-identically with
+    :func:`resume_checkpoint`.
 
     Example::
 
@@ -713,7 +747,47 @@ def optimize(model: Module | str = "resnet34", *, platform: str = "cpu",
         return session.optimize(model, strategy=strategy, budget=budget,
                                 fisher_threshold=fisher_threshold,
                                 width_multiplier=width, image_size=image_size,
-                                fisher_batch=fisher_batch)
+                                fisher_batch=fisher_batch,
+                                checkpoint=checkpoint,
+                                checkpoint_interval=checkpoint_interval)
+
+
+def resume_checkpoint(path: str | Path, *,
+                      cache_dir: str | Path | None = None,
+                      observer: Observer | None = None,
+                      checkpoint: str | Path | None = None) -> OptimizationResult:
+    """Continue a killed search from its checkpoint, bit-identically.
+
+    Reads the checkpoint's request document and paid-for tuning entries,
+    warms a fresh engine with them, and re-runs the request: every search
+    strategy is a deterministic function of its seed given the engine's
+    memoised oracles, so the replayed prefix hits the warm cache (no
+    tuner work) and the run continues past the kill point exactly as the
+    uninterrupted run would have.  Resuming a checkpoint of a *finished*
+    search replays to the identical result almost instantly, so resume is
+    safe to retry.  The resumed run keeps checkpointing to the same file
+    (or to ``checkpoint=`` when given).
+
+    Example::
+
+        result = repro.resume_checkpoint("run.ckpt.json")
+        print(f"{result.speedup:.2f}x")
+    """
+    from repro.core.checkpoint import read_checkpoint
+
+    parsed = read_checkpoint(path)
+    request = OptimizationRequest.from_dict(parsed.request_document)
+    with OptimizationSession(request.platform,
+                             tuner_trials=request.tuner_trials,
+                             seed=request.seed, cache_dir=cache_dir,
+                             observer=observer) as session:
+        engine = session.engine(request.platform,
+                                tuner_trials=request.tuner_trials,
+                                seed=request.seed)
+        engine.absorb_entries(parsed.entries)
+        return session.optimize(
+            request=request,
+            checkpoint=Path(path) if checkpoint is None else checkpoint)
 
 
 def tune(shape: ConvolutionShape | Sequence[int],

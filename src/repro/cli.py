@@ -6,6 +6,7 @@ reachable from a shell::
     repro experiments                      # list the registered experiments
     repro run fig4 --scale ci --json       # regenerate a paper artefact
     repro optimize --model resnet34        # one unified-search run
+    repro resume run.ckpt.json             # continue a killed search
     repro tune --shape 64x64x16x16x3x3 --program seq1 --platform mgpu
     repro platforms                        # the four deployment targets
     repro cache info | clear | migrate     # manage the sharded tuning cache
@@ -87,7 +88,25 @@ def _build_parser() -> argparse.ArgumentParser:
                                "(default: $REPRO_CACHE_DIR when set)")
     optimize.add_argument("--progress", action="store_true",
                           help="stream search progress events to stderr")
+    optimize.add_argument("--checkpoint", default=None,
+                          help="persist the search's resume point to this "
+                               "file after every tuning batch; a killed run "
+                               "continues with 'repro resume'")
+    optimize.add_argument("--checkpoint-interval", type=float, default=0.0,
+                          help="minimum seconds between checkpoint writes")
     optimize.add_argument("--json", action="store_true")
+
+    resume = commands.add_parser(
+        "resume", help="continue a killed search from its checkpoint file")
+    resume.add_argument("checkpoint",
+                        help="a checkpoint written by 'repro optimize "
+                             "--checkpoint' (or optimize(checkpoint=...))")
+    resume.add_argument("--cache-dir", default=None,
+                        help="persist engine caches under this directory "
+                             "(default: $REPRO_CACHE_DIR when set)")
+    resume.add_argument("--progress", action="store_true",
+                        help="stream search progress events to stderr")
+    resume.add_argument("--json", action="store_true")
 
     tune = commands.add_parser(
         "tune", help="auto-tune one convolution under one program")
@@ -212,6 +231,21 @@ def _cmd_optimize(args) -> int:
         budget=args.budget, trials=args.trials, seed=args.seed,
         width=args.width, image_size=args.image_size,
         cache_dir=args.cache_dir or env_cache_dir(),
+        observer=_print_progress if args.progress else None,
+        checkpoint=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.summary())
+    return 0
+
+
+def _cmd_resume(args) -> int:
+    from repro.api import env_cache_dir, resume_checkpoint
+
+    result = resume_checkpoint(
+        args.checkpoint, cache_dir=args.cache_dir or env_cache_dir(),
         observer=_print_progress if args.progress else None)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
@@ -307,13 +341,24 @@ def _is_pickle_file(path: Path) -> bool:
         return False
 
 
+#: What reading a legacy pickle can legitimately throw: I/O failures,
+#: truncated/corrupt streams, payloads whose classes no longer exist or
+#: whose layout predates the dict envelope.  Anything else is a bug and
+#: must surface, not be silently reported as "unreadable".
+_LEGACY_PICKLE_ERRORS = (OSError, pickle.UnpicklingError, EOFError,
+                         ValueError, KeyError, AttributeError, ImportError,
+                         IndexError, TypeError)
+
+
 def _legacy_pickle_row(path: Path) -> dict:
     try:
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
         entries = len(payload.get("entries", {}))
         version = payload.get("version")
-    except Exception:
+    except _LEGACY_PICKLE_ERRORS as exc:
+        print(f"warning: cannot read legacy pickle {path.name}: {exc}",
+              file=sys.stderr)
         entries, version = -1, None
     return {"path": str(path), "bytes": path.stat().st_size,
             "entries": entries, "format_version": version}
@@ -393,7 +438,7 @@ def _cmd_cache(args) -> int:
                         f"cache format version {version}, expected "
                         f"{CACHE_FORMAT_VERSION}")
                 entries = dict(payload["entries"])
-            except Exception as exc:
+            except _LEGACY_PICKLE_ERRORS as exc:
                 skipped += 1
                 print(f"skipped {path.name}: {exc}", file=sys.stderr)
                 continue
@@ -428,6 +473,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "optimize": _cmd_optimize,
+        "resume": _cmd_resume,
         "tune": _cmd_tune,
         "platforms": _cmd_platforms,
         "experiments": _cmd_experiments,

@@ -62,6 +62,7 @@ from zlib import crc32
 
 import numpy as np
 
+from repro.core.faults import FAULTS
 from repro.core.program import TransformProgram, program_from_dict, program_to_dict
 from repro.errors import CacheStoreError
 from repro.poly.statement import ConvolutionShape
@@ -646,6 +647,7 @@ class CacheStore:
                 _frame(buffer, _BATCH_RECORD, body)
             if buffer:
                 start = 0 if state.valid_offset == 0 else state.valid_offset
+                FAULTS.on_cache_write("cache_store")
                 fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
                 try:
                     os.ftruncate(fd, start)  # drop a crashed writer's torn tail
@@ -654,6 +656,9 @@ class CacheStore:
                     stat = os.fstat(fd)
                 finally:
                     os.close(fd)
+                # Fault injection may tear or poison what was just written,
+                # simulating a writer killed mid-append / latent bit rot.
+                FAULTS.on_shard_appended(path)
                 state.valid_offset = start + len(buffer)
                 state.stamp = (stat.st_ino, stat.st_dev, stat.st_size)
                 if rows:

@@ -50,12 +50,20 @@ from __future__ import annotations
 import hashlib
 import os
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import TYPE_CHECKING
 
-from repro.errors import LegalityError, ScheduleError, TransformError
+from repro.core.faults import FAULTS
+from repro.errors import (
+    DegradedExecutionWarning,
+    LegalityError,
+    ReproError,
+    ScheduleError,
+    TransformError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.program import PrimitiveApplication, TransformProgram
@@ -258,6 +266,22 @@ def _restore_names(stages: list["Stage"], name: str) -> list["Stage"]:
     return stages
 
 
+def _disable_trie(exc: Exception) -> None:
+    """Degrade: turn the trie off process-wide after an internal error.
+
+    Compilation falls back to :meth:`TransformProgram.compile_uncached`
+    (the golden-pinned reference path), so results are unchanged — only
+    the prefix-sharing speedup is lost until :func:`configure` re-enables
+    the cache.
+    """
+    COMPILE_CACHE.enabled = False
+    COMPILE_CACHE.clear()
+    warnings.warn(DegradedExecutionWarning(
+        f"compile cache disabled after an internal error; compilation "
+        f"continues uncached and slower ({exc})",
+        component="compile_cache", reason=str(exc)), stacklevel=3)
+
+
 def compile_program(program: "TransformProgram",
                     shape: "ConvolutionShape") -> list["Stage"]:
     """Compile ``program`` for ``shape`` through the prefix trie.
@@ -268,11 +292,30 @@ def compile_program(program: "TransformProgram",
     golden tests pin the equivalence.  The deepest cached prefix is
     cloned and only the remaining suffix is replayed, with every newly
     reached prefix stored for the next sibling.
-    """
-    from repro.core.program import PRIMITIVE_REGISTRY, ProgramState
 
+    The trie is an accelerator, never a correctness dependency: an
+    internal failure in the cached path (a poisoned snapshot, a broken
+    clone) disables the trie with a
+    :class:`~repro.errors.DegradedExecutionWarning` and recompiles
+    uncached, while genuine compile errors (:class:`LegalityError` and
+    friends) propagate unchanged.
+    """
     if not COMPILE_CACHE.enabled:
         return program.compile_uncached(shape)
+    try:
+        return _compile_cached(program, shape)
+    except ReproError:
+        raise  # a real compile rejection, not a cache defect
+    except Exception as exc:
+        _disable_trie(exc)
+        return program.compile_uncached(shape)
+
+
+def _compile_cached(program: "TransformProgram",
+                    shape: "ConvolutionShape") -> list["Stage"]:
+    from repro.core.program import PRIMITIVE_REGISTRY, ProgramState
+
+    FAULTS.on_compile_lookup()
     steps = program.steps
     digests = prefix_digests(steps)
     stats = COMPILE_CACHE.statistics

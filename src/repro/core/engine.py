@@ -43,6 +43,9 @@ from __future__ import annotations
 import os
 import pickle
 import time
+import warnings
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as PoolTimeout
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
@@ -52,10 +55,19 @@ import numpy as np
 from repro.core.cache_store import CacheStore
 from repro.core.compile_cache import COMPILE_CACHE, CompileCacheStatistics
 from repro.core.events import Observable
+from repro.core.faults import FAULTS
 from repro.core.program import LegalityReport, TransformProgram
 from repro.core.sequences import predefined_program
 from repro.core.workloads import LayerWorkload
-from repro.errors import EngineError, LegalityError, ModelError, TransformError
+from repro.errors import (
+    CacheStoreError,
+    DegradedExecutionWarning,
+    EngineError,
+    LegalityError,
+    ModelError,
+    ReproError,
+    TransformError,
+)
 from repro.fisher import candidate_layer_fisher
 from repro.hardware.platform import PlatformSpec
 from repro.nn.convs import DerivedConv2d
@@ -75,6 +87,50 @@ LatencyKey = tuple[str, ConvolutionShape, TransformProgram, int, int]
 CACHE_FORMAT_VERSION = 2
 
 
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How :meth:`EvaluationEngine.tune_many` survives failing tasks.
+
+    Every tuning task is a pure function of its key, so a failed or
+    timed-out task can be re-executed without changing any result — the
+    policy only bounds how hard the engine tries before giving up.
+
+    * ``task_timeout_seconds`` — per-task watchdog on parallel pools
+      (``None`` disables; serial execution cannot preempt a running
+      task).  A timed-out pool is recycled, since a stuck worker cannot
+      be cancelled.
+    * ``max_retries`` — failed attempts allowed *per task* beyond the
+      first, before the whole batch aborts with :class:`EngineError`.
+    * ``backoff_seconds`` / ``backoff_multiplier`` / ``jitter_fraction``
+      — the exponential backoff slept between retry rounds; the jitter is
+      drawn from the engine's dedicated retry RNG (never the search's
+      streams, so supervision cannot perturb results).
+    * ``max_pool_recoveries`` — broken/recycled pools tolerated per
+      ``tune_many`` call before aborting (a pool can break without any
+      single task being chargeable, so this is bounded separately).
+
+    Example::
+
+        engine = EvaluationEngine(platform, supervision=SupervisionPolicy(
+            task_timeout_seconds=30.0, max_retries=5))
+    """
+
+    task_timeout_seconds: float | None = None
+    max_retries: int = 5
+    backoff_seconds: float = 0.01
+    backoff_multiplier: float = 2.0
+    jitter_fraction: float = 0.25
+    max_pool_recoveries: int = 16
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise EngineError("max_retries must be >= 0")
+        if self.task_timeout_seconds is not None and self.task_timeout_seconds <= 0:
+            raise EngineError("task_timeout_seconds must be positive (or None)")
+        if self.max_pool_recoveries < 0:
+            raise EngineError("max_pool_recoveries must be >= 0")
+
+
 @dataclass
 class EngineStatistics:
     """Counters for the engine's oracle traffic (hit rates, tuner work)."""
@@ -87,6 +143,10 @@ class EngineStatistics:
     loaded_entries: int = 0
     prescreen_checks: int = 0
     prescreen_rejections: int = 0
+    #: supervised-execution traffic: failed task attempts that were
+    #: retried, and executor pools recycled after a break or timeout
+    task_retries: int = 0
+    pool_recoveries: int = 0
     #: compile-trie counters when these statistics were created; the
     #: ``compile_*`` properties report increments since then, scoping the
     #: process-global trie's traffic to this engine's lifetime.
@@ -137,6 +197,7 @@ def _tune_entry(args: tuple[PlatformSpec, ConvolutionShape, TransformProgram, in
     of ``AutoTuner.tune`` calls made, so the parent can keep exact counts.
     """
     platform, shape, program, trials, seed = args
+    FAULTS.on_task("tune")
     tuner = AutoTuner(trials=trials, seed=seed)
     total, calls = 0.0, 0
     for computation in program.build_computations(shape):
@@ -235,7 +296,8 @@ class EvaluationEngine(Observable):
     def __init__(self, platform: PlatformSpec, *, tuner_trials: int = 8,
                  seed: int | None = 0, cache_path: str | Path | None = None,
                  cache_store: CacheStore | str | Path | None = None,
-                 parallel: str = "serial", max_workers: int | None = None):
+                 parallel: str = "serial", max_workers: int | None = None,
+                 supervision: SupervisionPolicy | None = None):
         super().__init__()
         if tuner_trials < 1:
             raise EngineError("the engine needs at least one tuner trial")
@@ -254,6 +316,7 @@ class EvaluationEngine(Observable):
         if cache_store is not None and not isinstance(cache_store, CacheStore):
             cache_store = CacheStore(cache_store)
         self.cache_store: CacheStore | None = cache_store
+        self.supervision = supervision or SupervisionPolicy()
         self.statistics = EngineStatistics()
         self._latency_cache: dict[LatencyKey, float] = {}
         #: keys added since the store was last synchronised (the sharded
@@ -262,16 +325,222 @@ class EvaluationEngine(Observable):
         self._pools: dict[tuple[str, int | None], object] = {}
         self._cache_dirty = False
         self._synced_path: Path | None = None
+        #: set when the sharded store turned out unreadable: the engine
+        #: keeps running (slower, cold) and stops touching the store.
+        self._store_quarantined = False
+        #: jitter for retry backoff; dedicated so supervision never
+        #: consumes from (or perturbs) any result-bearing random stream.
+        self._retry_rng = make_rng(self.seed)
         if self.cache_store is not None:
-            loaded = self._merge_entries(
-                self.cache_store.load_platform(self.platform.name))
-            self.statistics.loaded_entries += loaded
+            self._load_store_entries()
         elif self.cache_path is not None and self.cache_path.exists():
             self.load_cache(self.cache_path)
             # The constructor load leaves memory and file identical, so the
             # first save to the same path can be skipped entirely.
             self._cache_dirty = False
             self._synced_path = self.cache_path
+
+    # ------------------------------------------------------------------
+    # Graceful degradation: a broken store quarantines, never aborts
+    # ------------------------------------------------------------------
+    def _load_store_entries(self) -> int:
+        """Warm-start from the sharded store, degrading on corruption.
+
+        An unreadable shard (bad header, version mismatch, dangling
+        interned records) is quarantined: the engine emits one structured
+        :class:`~repro.errors.DegradedExecutionWarning` plus a
+        ``degraded`` event and runs on with a cold cache — slower, never
+        wrong, since every cache entry equals its recomputation.
+        """
+        if self.cache_store is None or self._store_quarantined:
+            return 0
+        try:
+            loaded = self._merge_entries(
+                self.cache_store.load_platform(self.platform.name))
+        except CacheStoreError as exc:
+            self._quarantine_store(exc)
+            return 0
+        self.statistics.loaded_entries += loaded
+        return loaded
+
+    def _quarantine_store(self, exc: Exception) -> None:
+        self._store_quarantined = True
+        message = (f"cache store for platform '{self.platform.name}' is "
+                   f"unreadable and has been quarantined; tuning continues "
+                   f"without persistence ({exc})")
+        warnings.warn(DegradedExecutionWarning(
+            message, component="cache_store", reason=str(exc)), stacklevel=3)
+        self.emit("degraded", component="cache_store", reason=str(exc))
+
+    @property
+    def store_quarantined(self) -> bool:
+        """True when the sharded store was corrupt and is no longer used."""
+        return self._store_quarantined
+
+    # ------------------------------------------------------------------
+    # Supervised execution: retry, backoff, pool healing
+    # ------------------------------------------------------------------
+    def _retry_delay(self, failure_count: int) -> float:
+        """Exponential backoff with jitter for the ``failure_count``-th failure.
+
+        The jitter comes from the engine's dedicated retry RNG, so
+        supervision never consumes from — and therefore never perturbs —
+        any random stream that feeds results.
+        """
+        policy = self.supervision
+        delay = (policy.backoff_seconds
+                 * policy.backoff_multiplier ** max(0, failure_count - 1))
+        jitter = 1.0 + policy.jitter_fraction * float(self._retry_rng.random())
+        return delay * jitter
+
+    def _task_failed(self, exc: Exception, failures: int) -> bool:
+        """Account one charged task failure; True when a retry is allowed.
+
+        Raises :class:`EngineError` (chaining the last error) once the
+        task has failed more than ``max_retries`` times — tuning tasks are
+        pure functions of their keys, so a task that keeps failing is a
+        real defect, not transient noise.
+        """
+        policy = self.supervision
+        will_retry = failures <= policy.max_retries
+        self.emit("task_failed", error=str(exc), failures=failures,
+                  will_retry=will_retry)
+        if not will_retry:
+            raise EngineError(
+                f"tuning task failed {failures} times "
+                f"(max_retries={policy.max_retries}); last error: {exc}") from exc
+        self.statistics.task_retries += 1
+        return True
+
+    def _attempt_serial(self, task) -> tuple[float, int]:
+        """Run one tuning task inline, retrying transient failures.
+
+        Library errors (:class:`~repro.errors.ReproError`) re-raise
+        immediately — they are deterministic misuse, and retrying a pure
+        function cannot change its answer.  Anything else is treated as
+        transient (a crashed worker dependency, an injected fault) and
+        retried under the supervision policy's backoff.
+        """
+        failures = 0
+        while True:
+            try:
+                return _tune_entry(task)
+            except ReproError:
+                raise
+            except Exception as exc:
+                failures += 1
+                self._task_failed(exc, failures)
+                time.sleep(self._retry_delay(failures))
+
+    def _heal_pool(self, parallel: str, max_workers: int | None) -> None:
+        """Evict and tear down a broken/stuck executor so it is rebuilt.
+
+        This is the fix for the dead-pool bug: ``_executor`` keys pools by
+        ``(parallel, max_workers)`` and used to keep serving a pool whose
+        workers had died, failing every later ``tune_many`` on the engine.
+        Healing pops the entry, so the next round lazily creates a fresh
+        pool with live workers.
+        """
+        pool = self._pools.pop((parallel, max_workers), None)
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - teardown of a dead pool
+                pass
+
+    def _run_supervised(self, tasks: list, parallel: str,
+                        max_workers: int | None) -> list[tuple[float, int]]:
+        """Run ``tasks`` to completion under the supervision policy.
+
+        Each round submits every unfinished task to the persistent pool
+        and harvests results with the per-task timeout.  Three failure
+        classes are handled differently:
+
+        * a **broken pool** (``BrokenExecutor``) cannot be blamed on any
+          single task — every unfinished task is requeued *without* an
+          attempt charge and the pool is healed; the blast radius is
+          bounded by ``max_pool_recoveries`` instead;
+        * a **timeout** charges the task being waited on (and heals the
+          pool, since a stuck worker cannot be cancelled);
+        * an ordinary **task exception** charges that task and retries it
+          after backoff, up to ``max_retries``.
+
+        Results are bit-exact regardless of failures: tasks are pure
+        functions of their keys, so a retried task returns exactly what
+        the first attempt would have.
+        """
+        if parallel == "serial" or len(tasks) == 1:
+            return [self._attempt_serial(task) for task in tasks]
+        policy = self.supervision
+        results: dict[int, tuple[float, int]] = {}
+        failures = [0] * len(tasks)
+        queue = list(range(len(tasks)))
+        recoveries = 0
+        while queue:
+            pool = self._executor(parallel, max_workers)
+            futures: dict[int, object] = {}
+            requeue: list[int] = []
+            pool_broken = False
+            round_charged = 0
+            try:
+                for index in queue:
+                    futures[index] = pool.submit(_tune_entry, tasks[index])
+            except BrokenExecutor:
+                # The pool died between creation and submission; everything
+                # not yet submitted is blast radius for the next round.
+                pool_broken = True
+                requeue.extend(i for i in queue if i not in futures)
+            try:
+                for index, future in futures.items():
+                    if pool_broken and not future.done():
+                        requeue.append(index)  # blast radius, not charged
+                        continue
+                    try:
+                        results[index] = future.result(
+                            timeout=None if pool_broken
+                            else policy.task_timeout_seconds)
+                    except BrokenExecutor:
+                        pool_broken = True
+                        requeue.append(index)
+                    except PoolTimeout:
+                        failures[index] += 1
+                        self._task_failed(
+                            TimeoutError(
+                                f"tuning task exceeded the "
+                                f"{policy.task_timeout_seconds}s task "
+                                f"timeout and its worker may be stuck"),
+                            failures[index])
+                        round_charged = max(round_charged, failures[index])
+                        requeue.append(index)
+                        # The stuck worker cannot be cancelled: recycle
+                        # the whole pool and re-run the stragglers on it.
+                        pool_broken = True
+                    except ReproError:
+                        raise
+                    except Exception as exc:
+                        failures[index] += 1
+                        self._task_failed(exc, failures[index])
+                        round_charged = max(round_charged, failures[index])
+                        requeue.append(index)
+            except BaseException:
+                for future in futures.values():
+                    future.cancel()
+                raise
+            if pool_broken:
+                recoveries += 1
+                self.statistics.pool_recoveries += 1
+                self._heal_pool(parallel, max_workers)
+                self.emit("pool_recovered", parallel=parallel,
+                          recoveries=recoveries, requeued=len(requeue))
+                if recoveries > policy.max_pool_recoveries:
+                    raise EngineError(
+                        f"executor pool broke {recoveries} times in one "
+                        f"tune_many call (max_pool_recoveries="
+                        f"{policy.max_pool_recoveries}); giving up")
+            if round_charged:
+                time.sleep(self._retry_delay(round_charged))
+            queue = requeue
+        return [results[index] for index in range(len(tasks))]
 
     # ------------------------------------------------------------------
     # The persistent worker pool
@@ -396,8 +665,8 @@ class EvaluationEngine(Observable):
             return cached
         self._require_legal(shape, program)
         self.statistics.latency_misses += 1
-        seconds, calls = _tune_entry((self.platform, shape, program,
-                                      key[3], self.seed))
+        seconds, calls = self._attempt_serial((self.platform, shape, program,
+                                               key[3], self.seed))
         self.statistics.tuner_calls += calls
         self._latency_cache[key] = seconds
         self._pending.append(key)
@@ -465,11 +734,8 @@ class EvaluationEngine(Observable):
         if missing:
             tasks = [(self.platform, shape, program, batch_trials, self.seed)
                      for shape, program in missing.values()]
-            if parallel == "serial" or len(tasks) == 1:
-                outcomes = [_tune_entry(task) for task in tasks]
-            else:
-                pool = self._executor(parallel, max_workers or self.max_workers)
-                outcomes = list(pool.map(_tune_entry, tasks))
+            outcomes = self._run_supervised(
+                tasks, parallel, max_workers or self.max_workers)
             for key, (seconds, calls) in zip(missing, outcomes):
                 self._latency_cache[key] = seconds
                 self._pending.append(key)
@@ -548,12 +814,16 @@ class EvaluationEngine(Observable):
         search without rewriting an unchanged store.
         """
         if path is None and self.cache_store is not None:
-            if self._pending:
+            if self._pending and not self._store_quarantined:
                 pending = {key: self._latency_cache[key]
                            for key in self._pending
                            if key in self._latency_cache}
-                self.cache_store.append(pending)
-                self._pending.clear()
+                try:
+                    self.cache_store.append(pending)
+                except (CacheStoreError, OSError) as exc:
+                    self._quarantine_store(exc)
+                else:
+                    self._pending.clear()
             return self.cache_store.directory
         target = Path(path) if path is not None else self.cache_path
         if target is None:
@@ -564,18 +834,28 @@ class EvaluationEngine(Observable):
                 "cache_dir)")
         if not self._cache_dirty and target == self._synced_path and target.exists():
             return target
-        target.parent.mkdir(parents=True, exist_ok=True)
         payload = {"version": CACHE_FORMAT_VERSION, "entries": dict(self._latency_cache)}
         # Write-then-rename so concurrent readers (other processes sharing the
         # cache) never observe a truncated file; the scratch file is removed
-        # even when pickling fails mid-write.
+        # even when pickling fails mid-write, and every OS-level failure
+        # (read-only directory, full disk) becomes an actionable EngineError.
         scratch = target.with_name(target.name + f".tmp.{os.getpid()}")
         try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            FAULTS.on_cache_write("engine_save")
             with open(scratch, "wb") as handle:
                 pickle.dump(payload, handle)
             os.replace(scratch, target)
+        except OSError as exc:
+            raise EngineError(
+                f"cannot write engine cache to {target}: {exc} — check that "
+                f"the directory is writable and has free space, or point "
+                f"cache_path at another location") from exc
         finally:
-            scratch.unlink(missing_ok=True)
+            try:
+                scratch.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - unlink in an unwritable dir
+                pass
         self._cache_dirty = False
         self._synced_path = target
         return target
@@ -592,10 +872,7 @@ class EvaluationEngine(Observable):
         into the store.
         """
         if path is None and self.cache_store is not None:
-            loaded = self._merge_entries(
-                self.cache_store.load_platform(self.platform.name))
-            self.statistics.loaded_entries += loaded
-            return loaded
+            return self._load_store_entries()
         source = Path(path) if path is not None else self.cache_path
         if source is None:
             raise EngineError("no cache path given and the engine has none configured")
@@ -623,6 +900,38 @@ class EvaluationEngine(Observable):
                                      remember=self.cache_store is not None)
         if loaded:
             # Conservative: merged entries may not be in the synced target.
+            self._cache_dirty = True
+        self.statistics.loaded_entries += loaded
+        return loaded
+
+    def cache_entries(self) -> dict[LatencyKey, float]:
+        """A snapshot of the memoised latency entries.
+
+        This is what a search checkpoint persists: replaying a
+        deterministic search over an engine warmed with these entries
+        reproduces the interrupted run bit-for-bit without re-tuning.
+
+        Example::
+
+            entries = engine.cache_entries()
+        """
+        return dict(self._latency_cache)
+
+    def absorb_entries(self, entries: dict[LatencyKey, float]) -> int:
+        """Merge externally captured entries (checkpoint resume) into memory.
+
+        In-memory entries win on conflict, exactly as :meth:`load_cache`;
+        store-backed engines remember the absorbed keys so the next
+        :meth:`save_cache` appends them into the shards.  Returns the
+        number of entries actually added.
+
+        Example::
+
+            engine.absorb_entries(checkpoint_entries)
+        """
+        loaded = self._merge_entries(dict(entries),
+                                     remember=self.cache_store is not None)
+        if loaded:
             self._cache_dirty = True
         self.statistics.loaded_entries += loaded
         return loaded

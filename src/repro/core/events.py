@@ -33,6 +33,22 @@ public surface and covered by ``tests/test_api.py``):
 ``search_finished``
     ``baseline_latency_seconds``, ``optimized_latency_seconds``,
     ``speedup``, ``configurations_evaluated``, ``search_seconds``
+``task_failed``
+    ``error``, ``failures``, ``will_retry`` — one tuning task attempt
+    failed (or timed out) under the engine's supervision policy; when
+    ``will_retry`` is false the batch is about to abort
+``pool_recovered``
+    ``parallel``, ``recoveries``, ``requeued`` — a broken or stuck
+    executor pool was torn down and rebuilt; the ``requeued`` unfinished
+    tasks re-run on the fresh pool without an attempt charge
+``degraded``
+    ``component``, ``reason`` — a subsystem (cache store, compile trie)
+    failed and execution downgraded to slower-but-correct; mirrors the
+    :class:`~repro.errors.DegradedExecutionWarning` raised at the same
+    moment
+``checkpoint_saved``
+    ``path``, ``entries``, ``completed`` — the search's resume point was
+    atomically persisted (see :mod:`repro.core.checkpoint`)
 """
 
 from __future__ import annotations

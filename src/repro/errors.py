@@ -70,6 +70,44 @@ class CacheStoreError(EngineError):
     """
 
 
+class CheckpointError(ReproError):
+    """Raised when a search checkpoint is unreadable or incompatible.
+
+    The message always names the file and what was wrong with it, so a
+    failed ``repro resume`` tells the operator whether to retry, fall
+    back to an older checkpoint, or restart the search.
+
+    Example::
+
+        try:
+            result = repro.resume_checkpoint("run.ckpt.json")
+        except repro.CheckpointError as error:
+            print(f"cannot resume: {error}")
+    """
+
+
+class DegradedExecutionWarning(UserWarning):
+    """A component failed and the system downgraded instead of aborting.
+
+    Emitted (via :func:`warnings.warn`) when e.g. a corrupt cache shard
+    is quarantined or the compile trie is disabled after an internal
+    error: execution continues slower but correct.  ``component`` and
+    ``reason`` make the warning machine-checkable.
+
+    Example::
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", repro.DegradedExecutionWarning)
+            result = repro.optimize("resnet18")   # fail hard on degradation
+    """
+
+    def __init__(self, message: str, *, component: str | None = None,
+                 reason: str | None = None):
+        super().__init__(message)
+        self.component = component
+        self.reason = reason if reason is not None else message
+
+
 class ModelError(ReproError):
     """Raised when a neural-network model definition is invalid."""
 

@@ -334,7 +334,7 @@ class TestLegacyPickles:
             raise OSError("disk full")
 
         monkeypatch.setattr(pickle, "dump", explode)
-        with pytest.raises(OSError, match="disk full"):
+        with pytest.raises(EngineError, match="disk full"):
             engine.save_cache()
         assert list(tmp_path.glob("*.tmp.*")) == []
         assert path.read_bytes() == good, "the synced store must be untouched"
