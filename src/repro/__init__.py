@@ -47,12 +47,13 @@ from repro.errors import (
     CheckpointError,
     DegradedExecutionWarning,
     ReproError,
+    ServiceError,
 )
 from repro.hardware.platform import PlatformSpec, get_platform
 from repro.poly.statement import ConvolutionShape
 
 #: Single-source package version (setup.py reads it from this file).
-__version__ = "0.7.0"
+__version__ = "0.8.0"
 
 #: The supported public surface.  Additions are backwards-compatible;
 #: removals or renames require a major version bump (DESIGN.md §9).
@@ -78,6 +79,7 @@ __all__ = [
     "resume_checkpoint", "SearchCheckpoint", "read_checkpoint",
     "SupervisionPolicy", "FaultPlan",
     # errors
-    "ReproError", "CheckpointError", "DegradedExecutionWarning",
+    "ReproError", "CheckpointError", "ServiceError",
+    "DegradedExecutionWarning",
     "__version__",
 ]

@@ -225,13 +225,22 @@ class OptimizationRequest:
     width_multiplier: float = 0.25
     image_size: int = 16
     fisher_batch: int = 4
+    #: pending-point imputation for model_guided's batch-concurrent rounds
+    #: (see repro.core.predictor.LIAR_STRATEGIES; "none" disables it)
+    liar: str = "cl_mean"
 
     def __post_init__(self) -> None:
+        from repro.core.predictor import LIAR_STRATEGIES
+
         get_platform(self.platform)  # fail fast on unknown targets
         if self.strategy not in SEARCH_STRATEGY_REGISTRY:
             raise ReproError(
                 f"unknown strategy '{self.strategy}'; expected one of "
                 f"{sorted(SEARCH_STRATEGY_REGISTRY)}")
+        if self.liar not in ("none",) + LIAR_STRATEGIES:
+            raise ReproError(
+                f"unknown liar strategy '{self.liar}'; expected one of "
+                f"{('none',) + LIAR_STRATEGIES}")
         if self.configurations < 1:
             raise ReproError("the search budget must be at least 1 configuration")
         if self.tuner_trials < 1:
@@ -518,16 +527,26 @@ class OptimizationSession:
 
     def __init__(self, platform: str = "cpu", *, tuner_trials: int = 4,
                  seed: int = 0, cache_dir: str | Path | None = None,
+                 cache_store: CacheStore | None = None,
                  parallel: str = "serial", max_workers: int | None = None,
                  observer: Observer | None = None):
         get_platform(platform)  # fail fast on unknown targets
+        if cache_dir is not None and cache_store is not None:
+            raise ReproError("pass either cache_dir or a prebuilt "
+                             "cache_store, not both")
         self.platform = platform
         self.tuner_trials = tuner_trials
         self.seed = seed
         self.cache_dir = (Path(cache_dir).expanduser()
                           if cache_dir is not None else None)
-        self.cache_store = (CacheStore(self.cache_dir)
-                            if self.cache_dir is not None else None)
+        if cache_store is not None:
+            # A prebuilt store (e.g. the optimization service's, shared by
+            # every job in the daemon) wins; sessions never own it.
+            self.cache_store = cache_store
+            self.cache_dir = cache_store.directory
+        else:
+            self.cache_store = (CacheStore(self.cache_dir)
+                                if self.cache_dir is not None else None)
         self.parallel = parallel
         self.max_workers = max_workers
         self.observer = observer
@@ -569,6 +588,7 @@ class OptimizationSession:
                  fisher_threshold: float | None = None,
                  seed: int | None = None, width_multiplier: float | None = None,
                  image_size: int | None = None, fisher_batch: int | None = None,
+                 liar: str | None = None,
                  observer: Observer | None = None,
                  checkpoint: str | Path | None = None,
                  checkpoint_interval: float = 0.0) -> OptimizationResult:
@@ -598,6 +618,7 @@ class OptimizationSession:
             ("tuner_trials", tuner_trials), ("fisher_threshold", fisher_threshold),
             ("seed", seed), ("width_multiplier", width_multiplier),
             ("image_size", image_size), ("fisher_batch", fisher_batch),
+            ("liar", liar),
         ) if value is not None}
         if isinstance(model, str):
             overrides["model"] = model
@@ -627,7 +648,8 @@ class OptimizationSession:
             engine.platform, configurations=request.configurations,
             fisher_threshold=request.fisher_threshold, strategy=request.strategy,
             space=UnifiedSpaceConfig(seed=request.seed), seed=request.seed,
-            engine=engine, observer=observer or self.observer)
+            engine=engine, observer=observer or self.observer,
+            liar=request.liar)
         writer = None
         if checkpoint is not None:
             from repro.core.checkpoint import CheckpointWriter
@@ -639,6 +661,25 @@ class OptimizationSession:
         try:
             outcome = search.search(instance, images, labels,
                                     dataset.spec.image_shape)
+        except BaseException as abort:
+            # An aborted search (exception, SIGTERM/SIGINT translated to
+            # one) still flushes everything paid for so far: the writer's
+            # periodic saves are rate-limited, and resume must not lose
+            # the tunings of the last interval.  A failing flush must not
+            # mask the abort itself.
+            if writer is not None:
+                try:
+                    writer.write()
+                except ReproError as flush_error:
+                    warnings.warn(
+                        f"final checkpoint flush failed while the search was "
+                        f"aborting ({abort!r}); resume falls back to the last "
+                        f"periodic checkpoint: {flush_error}",
+                        RuntimeWarning, stacklevel=2)
+                finally:
+                    engine.unsubscribe(writer.on_event)
+                writer = None
+            raise
         finally:
             if writer is not None:
                 engine.unsubscribe(writer.on_event)

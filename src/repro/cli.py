@@ -11,10 +11,18 @@ reachable from a shell::
     repro platforms                        # the four deployment targets
     repro cache info | clear | migrate     # manage the sharded tuning cache
     repro cache export out.jsonl           # ship a warm cache to another host
+    repro serve --state-dir svc            # run the optimization daemon
+    repro submit --model resnet18          # queue a job on the daemon
+    repro watch job-000001                 # stream a job's progress (NDJSON)
+    repro status job-000001 | result | cancel | jobs
 
 Every subcommand honours ``--json`` (machine-readable documents built from
 the typed result objects), and the search/tune commands honour
 ``--platform --scale --seed --trials --cache-dir`` uniformly.
+
+Exit codes are stable: 0 success, 1 generic library error, 2 usage, 130
+interrupted, and a distinct code per error family (see ``EXIT_CODES``) so
+scripts can branch on *what* failed without parsing stderr.
 """
 
 from __future__ import annotations
@@ -22,10 +30,49 @@ from __future__ import annotations
 import argparse
 import json
 import pickle
+import signal
 import sys
 from pathlib import Path
 
-from repro.errors import ReproError
+from repro.errors import (CacheStoreError, CheckpointError, DataError,
+                          EngineError, LoweringError, ModelError,
+                          PlatformError, ReproError, ScheduleError,
+                          SearchError, ServiceError, TransformError)
+
+#: Exit code per error family; :func:`exit_code_for` walks an exception's
+#: MRO so subclasses (e.g. LegalityError) inherit their family's code and
+#: plain :class:`ReproError` stays the historical ``1``.
+EXIT_CODES: dict[type, int] = {
+    ReproError: 1,
+    ModelError: 3,
+    DataError: 4,
+    PlatformError: 5,
+    TransformError: 6,
+    ScheduleError: 7,
+    LoweringError: 8,
+    SearchError: 9,
+    EngineError: 10,
+    CacheStoreError: 11,
+    CheckpointError: 12,
+    ServiceError: 13,
+}
+
+#: Exit code for a run stopped by SIGINT/SIGTERM (the shell convention).
+EXIT_INTERRUPTED = 130
+
+
+def exit_code_for(error: ReproError) -> int:
+    """The stable exit code for one library error (most specific wins).
+
+    Example::
+
+        code = exit_code_for(CheckpointError("torn"))   # 12
+    """
+    for klass in type(error).__mro__:
+        code = EXIT_CODES.get(klass)
+        if code is not None:
+            return code
+    return 1
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -152,6 +199,69 @@ def _build_parser() -> argparse.ArgumentParser:
         "import", help="absorb an exported JSON-lines file into the store")
     import_.add_argument("path", help="an envelope written by 'repro cache export'")
     import_.add_argument("--cache-dir", default=None)
+
+    def state_dir_flag(sub) -> None:
+        sub.add_argument("--state-dir", default=None,
+                         help="the daemon's state directory (default: "
+                              "$REPRO_SERVICE_DIR, else ~/.cache/repro-service)")
+
+    serve = commands.add_parser(
+        "serve", help="run the optimization daemon (job queue + workers)")
+    state_dir_flag(serve)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="concurrent jobs the daemon runs")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default: an ephemeral port, "
+                            "advertised in <state-dir>/service.json)")
+    serve.add_argument("--checkpoint-interval", type=float, default=0.0,
+                       help="minimum seconds between a job's checkpoint writes")
+
+    submit = commands.add_parser(
+        "submit", help="queue one optimisation on the daemon")
+    state_dir_flag(submit)
+    submit.add_argument("--model", default="resnet34")
+    submit.add_argument("--platform", default="cpu")
+    submit.add_argument("--strategy", default="greedy")
+    submit.add_argument("--budget", type=int, default=60,
+                        help="configurations the search may evaluate")
+    submit.add_argument("--trials", type=int, default=4)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--width", type=float, default=0.25)
+    submit.add_argument("--image-size", type=int, default=16)
+    submit.add_argument("--liar", default="cl_mean",
+                        help="pending-point imputation for model_guided "
+                             "batches: cl_min, cl_max, cl_mean or none")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and print its result")
+    submit.add_argument("--json", action="store_true")
+
+    status = commands.add_parser(
+        "status", help="show one submitted job's state")
+    status.add_argument("job_id")
+    state_dir_flag(status)
+    status.add_argument("--json", action="store_true")
+
+    result = commands.add_parser(
+        "result", help="print a finished job's optimisation result")
+    result.add_argument("job_id")
+    state_dir_flag(result)
+    result.add_argument("--json", action="store_true")
+
+    cancel = commands.add_parser(
+        "cancel", help="cancel a queued or running job")
+    cancel.add_argument("job_id")
+    state_dir_flag(cancel)
+
+    watch = commands.add_parser(
+        "watch", help="stream a job's progress events as NDJSON")
+    watch.add_argument("job_id")
+    state_dir_flag(watch)
+
+    jobs = commands.add_parser(
+        "jobs", help="list every job the daemon knows")
+    state_dir_flag(jobs)
+    jobs.add_argument("--json", action="store_true")
     return parser
 
 
@@ -222,18 +332,50 @@ def _print_progress(event) -> None:
     print(f"[{event.kind}] {data}", file=sys.stderr)
 
 
+def _interruptible_checkpointing(checkpoint):
+    """Translate SIGTERM/SIGINT into KeyboardInterrupt while checkpointing.
+
+    With ``--checkpoint``, a terminated run must flush a final resume
+    point before dying — the façade's abort path does that for any
+    in-flight exception, so the handler only has to turn the signal into
+    one.  Returns the ``(signal, previous_handler)`` pairs to restore.
+    """
+    if checkpoint is None:
+        return []
+
+    def _raise_interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous.append((signum, signal.signal(signum, _raise_interrupt)))
+        except (ValueError, OSError):  # non-main thread / exotic platform
+            pass
+    return previous
+
+
 def _cmd_optimize(args) -> int:
     import repro
     from repro.api import env_cache_dir
 
-    result = repro.optimize(
-        args.model, platform=args.platform, strategy=args.strategy,
-        budget=args.budget, trials=args.trials, seed=args.seed,
-        width=args.width, image_size=args.image_size,
-        cache_dir=args.cache_dir or env_cache_dir(),
-        observer=_print_progress if args.progress else None,
-        checkpoint=args.checkpoint,
-        checkpoint_interval=args.checkpoint_interval)
+    restore = _interruptible_checkpointing(args.checkpoint)
+    try:
+        result = repro.optimize(
+            args.model, platform=args.platform, strategy=args.strategy,
+            budget=args.budget, trials=args.trials, seed=args.seed,
+            width=args.width, image_size=args.image_size,
+            cache_dir=args.cache_dir or env_cache_dir(),
+            observer=_print_progress if args.progress else None,
+            checkpoint=args.checkpoint,
+            checkpoint_interval=args.checkpoint_interval)
+    except KeyboardInterrupt:
+        print(f"interrupted; resume with: repro resume {args.checkpoint}",
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    finally:
+        for signum, handler in restore:
+            signal.signal(signum, handler)
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
     else:
@@ -466,6 +608,122 @@ def _cmd_cache(args) -> int:
     return 2
 
 
+# ---------------------------------------------------------------------------
+# The optimization service verbs
+# ---------------------------------------------------------------------------
+def _service_state_dir(state_dir: str | None) -> Path:
+    import os
+
+    return Path(state_dir or os.environ.get("REPRO_SERVICE_DIR")
+                or "~/.cache/repro-service").expanduser()
+
+
+def _service_client(args):
+    from repro.service import Client
+
+    return Client(state_dir=_service_state_dir(args.state_dir))
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import OptimizationService
+
+    state_dir = _service_state_dir(args.state_dir)
+    service = OptimizationService(
+        state_dir, workers=args.workers, host=args.host, port=args.port,
+        checkpoint_interval=args.checkpoint_interval)
+    host, port = service.start()
+    print(f"repro service on {host}:{port} "
+          f"({args.workers} workers, state {state_dir})", file=sys.stderr)
+
+    def _stop(signum, frame):
+        service.request_stop()
+
+    previous = [(signum, signal.signal(signum, _stop))
+                for signum in (signal.SIGTERM, signal.SIGINT)]
+    try:
+        service.serve_until_stopped()
+    finally:
+        for signum, handler in previous:
+            signal.signal(signum, handler)
+        service.stop()
+    print("repro service stopped; queued jobs resume on restart",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.api import OptimizationRequest
+
+    request = OptimizationRequest(
+        model=args.model, platform=args.platform, strategy=args.strategy,
+        configurations=args.budget, tuner_trials=args.trials, seed=args.seed,
+        width_multiplier=args.width, image_size=args.image_size,
+        liar=args.liar)
+    client = _service_client(args)
+    job_id = client.submit(request)
+    if not args.wait:
+        if args.json:
+            print(json.dumps({"job_id": job_id, "state": "queued"}))
+        else:
+            print(job_id)
+        return 0
+    result = client.wait(job_id)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.summary())
+    return 0
+
+
+def _cmd_status(args) -> int:
+    record = _service_client(args).status(args.job_id)
+    if args.json:
+        print(json.dumps(record, indent=2))
+        return 0
+    line = f"{record['job_id']}  {record['state']}  attempts={record['attempts']}"
+    if record.get("error"):
+        line += f"  error: {record['error']}"
+    print(line)
+    return 0
+
+
+def _cmd_result(args) -> int:
+    result = _service_client(args).result(args.job_id)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        print(result.summary())
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    response = _service_client(args).cancel(args.job_id)
+    print(f"{response['job_id']}  {response['state']}"
+          + (f"  ({response['note']})" if response.get("note") else ""))
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    for event in _service_client(args).watch(args.job_id):
+        print(json.dumps(event, sort_keys=True), flush=True)
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    rows = _service_client(args).jobs()
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    if not rows:
+        print("no jobs submitted")
+        return 0
+    for row in rows:
+        print(f"{row['job_id']}  {row['state']:9s}  "
+              f"{row.get('model')}/{row.get('platform')}  "
+              f"attempts={row['attempts']}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point (the ``repro`` console script and ``python -m repro``)."""
     parser = _build_parser()
@@ -478,6 +736,13 @@ def main(argv: list[str] | None = None) -> int:
         "platforms": _cmd_platforms,
         "experiments": _cmd_experiments,
         "cache": _cmd_cache,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "result": _cmd_result,
+        "cancel": _cmd_cancel,
+        "watch": _cmd_watch,
+        "jobs": _cmd_jobs,
     }
     handler = handlers.get(args.command)
     if handler is None:
@@ -491,9 +756,12 @@ def main(argv: list[str] | None = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

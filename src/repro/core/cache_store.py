@@ -56,6 +56,7 @@ import json
 import os
 import re
 import struct
+import threading
 from pathlib import Path
 from typing import Iterator, Mapping
 from zlib import crc32
@@ -295,6 +296,10 @@ class CacheStore:
         self.compact_ratio = float(compact_ratio)
         self.compact_min_dead = int(compact_min_dead)
         self._states: dict[str, _ShardState] = {}
+        # Serialises intra-process access to the shard-state dict so one
+        # store object can be shared by many threads (the service's worker
+        # pool); cross-process safety still comes from the per-shard flock.
+        self._thread_lock = threading.RLock()
 
     # -- configuration -------------------------------------------------
     @property
@@ -515,9 +520,10 @@ class CacheStore:
 
             entries = store.load_platform("cpu")
         """
-        state = self._scan(platform, self._states.get(platform))
-        self._states[platform] = state
-        return self._materialise(state)
+        with self._thread_lock:
+            state = self._scan(platform, self._states.get(platform))
+            self._states[platform] = state
+            return self._materialise(state)
 
     def load(self) -> dict[LatencyKey, float]:
         """Every live entry across all shards (merge/export convenience).
@@ -540,10 +546,11 @@ class CacheStore:
         """
         platforms = [platform] if platform is not None else self.platforms()
         total = 0
-        for name in platforms:
-            state = self._scan(name, self._states.get(name))
-            self._states[name] = state
-            total += len(self._digests(state))
+        with self._thread_lock:
+            for name in platforms:
+                state = self._scan(name, self._states.get(name))
+                self._states[name] = state
+                total += len(self._digests(state))
         return total
 
     def __len__(self) -> int:
@@ -563,11 +570,13 @@ class CacheStore:
                 with open(path, "rb") as handle:
                     name, _ = self._parse_header(handle.read(
                         _HEADER.size + 256), path)
-                state = self._scan(name, self._states.get(name))
-                self._states[name] = state
+                with self._thread_lock:
+                    state = self._scan(name, self._states.get(name))
+                    self._states[name] = state
+                    shard_entries = len(self._digests(state))
                 rows.append(ShardInfo(
                     platform=name, path=path, bytes=size,
-                    entries=len(self._digests(state)),
+                    entries=shard_entries,
                     records=state.entry_records,
                     format_version=STORE_FORMAT_VERSION))
             except CacheStoreError as exc:
@@ -625,7 +634,7 @@ class CacheStore:
     def _append_platform(self, platform: str,
                          items: list[tuple[LatencyKey, float]]) -> int:
         path = self.shard_path(platform)
-        with self._exclusive_lock(platform):
+        with self._thread_lock, self._exclusive_lock(platform):
             state = self._scan(platform, self._states.get(platform))
             self._states[platform] = state
             known = self._digests(state)
@@ -755,7 +764,7 @@ class CacheStore:
         platforms = [platform] if platform is not None else self.platforms()
         survivors = {}
         for name in platforms:
-            with self._exclusive_lock(name):
+            with self._thread_lock, self._exclusive_lock(name):
                 state = self._scan(name, self._states.get(name))
                 self._states[name] = state
                 self._compact_locked(state)

@@ -53,6 +53,7 @@ public surface and covered by ``tests/test_api.py``):
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -83,6 +84,13 @@ class ProgressEvent:
 class Observable:
     """A minimal publish/subscribe mixin for progress events.
 
+    Thread-safe: the optimisation service emits from many concurrently
+    running jobs, so observer-list mutation is serialised under a lock
+    and :meth:`emit` delivers to an immutable snapshot — an observer
+    (un)subscribed mid-emit takes effect from the next event.  Observers
+    themselves run on the emitting thread, unlocked, so a slow observer
+    never blocks subscription changes from other threads.
+
     Example::
 
         engine.subscribe(lambda event: print(event.kind, event.data))
@@ -90,18 +98,25 @@ class Observable:
     """
 
     def __init__(self) -> None:
-        self._observers: list[Observer] = []
+        # The tuple is replaced wholesale under the lock, never mutated,
+        # so emit can read it without taking the lock.
+        self._observers: tuple[Observer, ...] = ()
+        self._observers_lock = threading.Lock()
 
     def subscribe(self, observer: Observer) -> None:
         """Register ``observer`` to receive every event this object emits."""
-        self._observers.append(observer)
+        with self._observers_lock:
+            self._observers = self._observers + (observer,)
 
     def unsubscribe(self, observer: Observer) -> None:
         """Remove one registration of ``observer`` (no-op when absent)."""
-        try:
-            self._observers.remove(observer)
-        except ValueError:
-            pass
+        with self._observers_lock:
+            observers = list(self._observers)
+            try:
+                observers.remove(observer)
+            except ValueError:
+                return
+            self._observers = tuple(observers)
 
     @property
     def has_observers(self) -> bool:
@@ -115,8 +130,9 @@ class Observable:
 
     def emit(self, kind: str, **data) -> None:
         """Deliver ``ProgressEvent(kind, data)`` to every observer."""
-        if not self._observers:
+        observers = self._observers
+        if not observers:
             return
         event = ProgressEvent(kind=kind, data=data)
-        for observer in list(self._observers):
+        for observer in observers:
             observer(event)

@@ -60,6 +60,16 @@ from repro.utils import make_rng
 #: within one engine (the platform and seed are fixed per predictor use).
 CandidateKey = tuple[ConvolutionShape, TransformProgram, int]
 
+#: Pending-point imputation rules for batch-concurrent candidate selection
+#: (DeepHyper's AMBS constant-liar strategies).  When a strategy wants to
+#: draw a whole batch from one surrogate before any real result exists,
+#: each picked-but-not-yet-tuned candidate is imputed with a constant
+#: "lie" so later picks in the batch see it as pending work:
+#: ``cl_min`` lies the best (lowest) observed target — optimistic, spreads
+#: the batch out; ``cl_max`` lies the worst — conservative, concentrates
+#: it; ``cl_mean`` lies the mean.
+LIAR_STRATEGIES = ("cl_min", "cl_max", "cl_mean")
+
 
 @dataclass
 class PredictorStatistics:
@@ -79,6 +89,10 @@ class PredictorStatistics:
 
     observations: int = 0
     fits: int = 0
+    #: interim refits that incorporated constant-liar pseudo-observations
+    #: (cheap closed-form re-solves during batch selection; ``fits`` counts
+    #: only fits that consumed new *real* observations)
+    liar_fits: int = 0
     predictions: int = 0
     verified_predictions: int = 0
     absolute_error_sum: float = 0.0
@@ -152,8 +166,17 @@ class LatencyPredictor:
         self._pending: dict[CandidateKey, float] = {}
         self._models: list[_RidgeModel] = []
         self._dirty = False
+        #: set when new *real* observations arrived since the last fit
+        #: (a lie also marks ``_dirty``, but only real data invalidates
+        #: the pending-prediction ledger)
+        self._dirty_real = False
         self._observers: dict[int, object] = {}
         self._references: dict[ConvolutionShape, float] = {}
+        #: constant-liar pseudo-observations, kept apart from the real
+        #: history so they never count towards readiness and retract
+        #: without disturbing observation order
+        self._lie_features: list[np.ndarray] = []
+        self._lie_targets: list[float] = []
 
     # ------------------------------------------------------------------
     # Reference latencies (targets become log ratios to these)
@@ -221,6 +244,7 @@ class LatencyPredictor:
                              - math.log(self._reference_for(shape, reference)))
         self.statistics.observations += 1
         self._dirty = True
+        self._dirty_real = True
 
     def observe_many(self, entries: Iterable[tuple[ConvolutionShape,
                                                    TransformProgram, float]], *,
@@ -233,6 +257,69 @@ class LatencyPredictor:
         """
         for shape, program, latency_seconds in entries:
             self.observe(shape, program, latency_seconds, trials=trials)
+
+    # ------------------------------------------------------------------
+    # Constant-liar pending-point imputation (batch-concurrent selection)
+    # ------------------------------------------------------------------
+    @property
+    def lies(self) -> int:
+        """Number of constant-liar pseudo-observations currently active.
+
+        Example::
+
+            assert predictor.lies == 0   # after retract_lies()
+        """
+        return len(self._lie_targets)
+
+    def lie(self, shape: ConvolutionShape, program: TransformProgram, *,
+            trials: int = 1, strategy: str = "cl_mean") -> float:
+        """Impute a picked-but-not-yet-tuned candidate with a constant lie.
+
+        Batch selection picks several candidates from one surrogate before
+        any of them is actually tuned; to keep later picks aware of the
+        pending ones, the candidate is recorded as if it had been observed
+        at a constant target — the best (``cl_min``), worst (``cl_max``)
+        or mean (``cl_mean``) of the *real* targets seen so far (the
+        DeepHyper AMBS liar strategies).  Lies are kept apart from the
+        real history: they never count towards :attr:`ready` or
+        ``statistics.observations``, and :meth:`retract_lies` removes
+        them all before the real results arrive.  Returns the imputed
+        latency in seconds (the lie, de-normalised for logging).
+
+        Example::
+
+            predictor.lie(shape, program, trials=8, strategy="cl_min")
+            ...               # rank the remaining candidates
+            predictor.retract_lies()
+        """
+        if strategy not in LIAR_STRATEGIES:
+            raise SearchError(f"unknown liar strategy '{strategy}'; "
+                              f"expected one of {LIAR_STRATEGIES}")
+        if not self._targets:
+            raise SearchError("cannot lie before any real observation "
+                              "exists to impute from")
+        targets = np.array(self._targets)
+        lied = {"cl_min": float(targets.min()),
+                "cl_max": float(targets.max()),
+                "cl_mean": float(targets.mean())}[strategy]
+        self._lie_features.append(self._encode(shape, program, int(trials)))
+        self._lie_targets.append(lied)
+        self._dirty = True
+        return math.exp(lied) * self._reference_for(shape)
+
+    def retract_lies(self) -> int:
+        """Drop every active lie (call before observing the real results).
+
+        Example::
+
+            retracted = predictor.retract_lies()
+        """
+        retracted = len(self._lie_targets)
+        if retracted:
+            self._lie_features.clear()
+            self._lie_targets.clear()
+            self._dirty = True
+        return retracted
 
     # ------------------------------------------------------------------
     # The engine event stream (PR-4 observers)
@@ -289,11 +376,14 @@ class LatencyPredictor:
 
         Lazy: a clean model (no observations since the last fit) is left
         untouched, so callers may invoke ``fit`` per round for free.
+        Active constant-liar pseudo-observations (see :meth:`lie`) join
+        the training rows; a fit that consumed only lies is counted as a
+        ``liar_fit`` and leaves the pending-prediction ledger alone.
         """
         if not self.ready or not self._dirty:
             return False
-        features = np.stack(self._features)
-        targets = np.array(self._targets)
+        features = np.stack(self._features + self._lie_features)
+        targets = np.array(self._targets + self._lie_targets)
         models = [_RidgeModel(l2=self.l2)]
         models[0].fit(features, targets)
         if self.ensemble_size > 1:
@@ -305,12 +395,16 @@ class LatencyPredictor:
                 models.append(member)
         self._models = models
         self._dirty = False
-        # Predictions made by the superseded model are no longer worth
-        # verifying: charging their error to the new model would pollute
-        # the MAE, and never-tuned entries would otherwise pile up
-        # unboundedly across warm-predictor reuse.
-        self._pending.clear()
-        self.statistics.fits += 1
+        if self._dirty_real:
+            # Predictions made by the superseded model are no longer worth
+            # verifying: charging their error to the new model would pollute
+            # the MAE, and never-tuned entries would otherwise pile up
+            # unboundedly across warm-predictor reuse.
+            self._pending.clear()
+            self._dirty_real = False
+            self.statistics.fits += 1
+        else:
+            self.statistics.liar_fits += 1
         return True
 
     def predict(self, shape: ConvolutionShape, program: TransformProgram, *,
@@ -347,8 +441,12 @@ class LatencyPredictor:
         references = np.array([self._reference_for(shape)
                                for shape, _program in items])
         predicted = np.exp(stacked.mean(axis=0)) * references
-        for (shape, program), seconds in zip(items, predicted):
-            self._pending[(shape, program, int(trials))] = float(seconds)
+        if not self._lie_targets:
+            # Liar-biased interim predictions are selection aids, not
+            # claims about real latencies: only lie-free predictions enter
+            # the verification ledger feeding the running MAE.
+            for (shape, program), seconds in zip(items, predicted):
+                self._pending[(shape, program, int(trials))] = float(seconds)
         self.statistics.predictions += len(items)
         return predicted
 

@@ -36,7 +36,7 @@ import numpy as np
 from repro.core.compile_cache import COMPILE_CACHE
 from repro.core.engine import EvaluationEngine, FisherOracle
 from repro.core.events import Observer, ProgressEvent
-from repro.core.predictor import LatencyPredictor
+from repro.core.predictor import LIAR_STRATEGIES, LatencyPredictor
 from repro.core.program import TransformProgram
 from repro.core.sequences import predefined_program
 from repro.core.unified_space import UnifiedSpace, UnifiedSpaceConfig
@@ -592,25 +592,31 @@ class ModelGuidedStrategy:
                              observations=predictor.statistics.observations,
                              mae=predictor.statistics.mean_absolute_error)
             if predictor.ready:
-                predicted = predictor.predict_batch(
-                    untuned, trials=context.engine.tuner_trials)
-                # Rank by predicted latency relative to the pair's own
-                # baseline (its predicted speedup), then take at most one
-                # candidate per shape this round: every layer gets its
-                # predicted-best candidate tuned before any layer gets a
-                # second, so a few deep-speedup layers cannot starve the
-                # rest of the network.  Refit between rounds.
-                gain = np.array([baselines[shape] for shape, _ in untuned])
-                order = []
-                shapes_this_round: set[ConvolutionShape] = set()
-                for index in np.argsort(predicted / gain):
-                    shape = untuned[int(index)][0]
-                    if shape in shapes_this_round:
-                        continue
-                    shapes_this_round.add(shape)
-                    order.append(int(index))
-                    if len(order) >= remaining:
-                        break
+                # Select at most one candidate per shape this round: every
+                # layer gets its predicted-best candidate tuned before any
+                # layer gets a second, so a few deep-speedup layers cannot
+                # starve the rest of the network.  The whole batch then
+                # tunes concurrently through one tune_many submission and
+                # the surrogate refits on real data once per round.
+                if search.liar == "none":
+                    predicted = predictor.predict_batch(
+                        untuned, trials=context.engine.tuner_trials)
+                    # Rank by predicted latency relative to the pair's own
+                    # baseline (its predicted speedup) in one static pass.
+                    gain = np.array([baselines[shape] for shape, _ in untuned])
+                    order = []
+                    shapes_this_round: set[ConvolutionShape] = set()
+                    for index in np.argsort(predicted / gain):
+                        shape = untuned[int(index)][0]
+                        if shape in shapes_this_round:
+                            continue
+                        shapes_this_round.add(shape)
+                        order.append(int(index))
+                        if len(order) >= remaining:
+                            break
+                else:
+                    order = self._liar_batch(search, context, predictor,
+                                             untuned, baselines, remaining)
             else:
                 # Cold start: the surrogate is not trustworthy yet, fall
                 # back to random exploration — but only for as many
@@ -626,6 +632,45 @@ class ModelGuidedStrategy:
         context.statistics.evaluations_saved += len(untuned)
         assignment = self._select(search, context, tuned)
         return assignment, search._assignment_latency(context, assignment)
+
+    @staticmethod
+    def _liar_batch(search: "UnifiedSearch", context: _SearchContext,
+                    predictor, untuned, baselines, remaining: int) -> list[int]:
+        """Constant-liar batch selection (DeepHyper AMBS, DESIGN.md §14).
+
+        Picks up to ``remaining`` candidates (one per shape) sequentially
+        from one surrogate *without* tuning between picks: after each
+        pick the candidate is imputed with a constant-liar
+        pseudo-observation (:meth:`LatencyPredictor.lie`), so the next
+        pick's predictions see it as pending work and the batch spreads
+        across the space instead of collapsing onto near-duplicates of
+        the single best prediction.  All lies are retracted before the
+        caller tunes the batch for real; the only refits on real data
+        remain the once-per-round ones.  Fully deterministic — no RNG —
+        so resume/replay stays bit-identical.
+        """
+        order: list[int] = []
+        shapes_picked: set[ConvolutionShape] = set()
+        candidates = list(range(len(untuned)))
+        try:
+            while candidates and len(order) < remaining:
+                predicted = predictor.predict_batch(
+                    [untuned[index] for index in candidates],
+                    trials=context.engine.tuner_trials)
+                gain = np.array([baselines[untuned[index][0]]
+                                 for index in candidates])
+                pick = candidates[int(np.argmin(predicted / gain))]
+                shape, program = untuned[pick]
+                order.append(pick)
+                shapes_picked.add(shape)
+                predictor.lie(shape, program,
+                              trials=context.engine.tuner_trials,
+                              strategy=search.liar)
+                candidates = [index for index in candidates
+                              if untuned[index][0] not in shapes_picked]
+        finally:
+            predictor.retract_lies()
+        return order
 
     @staticmethod
     def _select(search: "UnifiedSearch", context: _SearchContext,
@@ -778,10 +823,15 @@ class UnifiedSearch:
                  space: UnifiedSpaceConfig | None = None, seed: int | None = None,
                  engine: EvaluationEngine | None = None,
                  observer: Observer | None = None,
-                 predictor: LatencyPredictor | None = None):
+                 predictor: LatencyPredictor | None = None,
+                 liar: str = "cl_mean"):
         if configurations < 1:
             raise SearchError("the search needs at least one configuration")
         get_strategy(strategy)  # fail fast on unknown names
+        if liar not in ("none",) + LIAR_STRATEGIES:
+            raise SearchError(
+                f"unknown liar strategy '{liar}'; expected one of "
+                f"{('none',) + LIAR_STRATEGIES}")
         if engine is not None and engine.platform.name != platform.name:
             raise SearchError(
                 f"engine is bound to platform '{engine.platform.name}', "
@@ -805,6 +855,9 @@ class UnifiedSearch:
         # pass a warm predictor to reuse its observations across searches;
         # otherwise one is created on first use and kept for inspection.
         self.predictor = predictor
+        # Pending-point imputation rule for model_guided's batch-concurrent
+        # rounds ("none" restores the static one-pass ranking).
+        self.liar = liar
 
     def _predictor(self) -> LatencyPredictor:
         """The search's latency surrogate (created on first use)."""

@@ -86,6 +86,23 @@ class CheckpointError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Raised when the optimization service (daemon/client) fails.
+
+    Covers both sides of the wire: a daemon that cannot bind or recover
+    its state directory, and a client that cannot reach the endpoint,
+    names an unknown job, or asks for the result of a job that is not
+    done.  The message names the endpoint or job so operators can act.
+
+    Example::
+
+        try:
+            result = client.result(job_id)
+        except repro.ServiceError as error:
+            print(f"service: {error}")
+    """
+
+
 class DegradedExecutionWarning(UserWarning):
     """A component failed and the system downgraded instead of aborting.
 

@@ -1,0 +1,32 @@
+"""The optimization service: a local job daemon over :mod:`repro.api`.
+
+``repro serve`` turns the one-shot façade into a queue: clients submit
+:class:`~repro.api.OptimizationRequest` documents, a bounded worker pool
+runs them against one shared tuning cache, progress streams to watchers
+as NDJSON, and a killed daemon resumes its queue bit-identically from
+per-job checkpoints.  See :mod:`repro.service.daemon` for the
+architecture and DESIGN.md §14 for the design rationale.
+
+Example::
+
+    from repro.service import Client, OptimizationService
+
+    service = OptimizationService("/tmp/svc", workers=2)
+    service.start()
+    client = Client(state_dir="/tmp/svc")
+    job_id = client.submit(model="resnet18", configurations=8)
+    result = client.wait(job_id)
+    service.stop()
+"""
+
+from repro.service.client import Client
+from repro.service.daemon import OptimizationService
+from repro.service.jobs import JOB_STATES, Job, JobStore
+
+__all__ = [
+    "Client",
+    "Job",
+    "JobStore",
+    "JOB_STATES",
+    "OptimizationService",
+]

@@ -1,0 +1,149 @@
+"""Wire protocol and endpoint discovery for the optimization service.
+
+The daemon and its clients speak **JSON lines** over a local TCP socket:
+every message is one JSON object terminated by ``"\\n"``.  A client
+connection carries exactly one request; the daemon answers with either a
+single response object (``{"ok": true, ...}`` / ``{"ok": false,
+"error": ...}``) or — for ``watch`` — a stream of NDJSON event objects
+that ends with a ``{"kind": "stream_end", ...}`` marker.  Keeping the
+framing this dumb means ``repro watch`` output can be piped straight to
+``jq`` and a daemon can be driven with ``nc`` in a pinch.
+
+Endpoint discovery goes through a JSON file (``service.json``) in the
+daemon's state directory: the daemon binds an ephemeral port, records
+``{"host", "port", "pid"}``, and clients resolve the endpoint from the
+same ``--state-dir`` they would submit to.  The file is written
+atomically so a client never reads a torn endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from pathlib import Path
+
+from repro.errors import ServiceError
+
+#: Name of the endpoint file inside a service state directory.
+ENDPOINT_FILENAME = "service.json"
+
+#: Wire protocol revision; bumped when the message framing changes.
+PROTOCOL_VERSION = 1
+
+#: Default host the daemon binds; the service is local by design.
+DEFAULT_HOST = "127.0.0.1"
+
+
+def encode_message(document: dict) -> bytes:
+    """Serialise one message as a JSON line (the only frame on the wire).
+
+    Example::
+
+        sock.sendall(encode_message({"verb": "status", "job_id": job_id}))
+    """
+    return (json.dumps(document, separators=(",", ":"), sort_keys=True)
+            + "\n").encode("utf-8")
+
+
+def read_message(reader) -> dict | None:
+    """Read one JSON-line message from a file-like reader; None at EOF.
+
+    Raises :class:`~repro.errors.ServiceError` when the line is not a
+    JSON object — a foreign process talking to the port, or a torn write.
+
+    Example::
+
+        with sock.makefile("rb") as reader:
+            reply = read_message(reader)
+    """
+    line = reader.readline()
+    if not line:
+        return None
+    try:
+        document = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceError(
+            f"malformed message on the service socket ({exc}); "
+            f"got {line[:120]!r}") from None
+    if not isinstance(document, dict):
+        raise ServiceError(
+            f"service messages are JSON objects; got {type(document).__name__}")
+    return document
+
+
+def endpoint_path(state_dir: str | Path) -> Path:
+    """The endpoint file a daemon on ``state_dir`` advertises itself in.
+
+    Example::
+
+        path = endpoint_path("~/.cache/repro-service")
+    """
+    return Path(state_dir).expanduser() / ENDPOINT_FILENAME
+
+
+def write_endpoint(state_dir: str | Path, *, host: str, port: int) -> Path:
+    """Atomically record the daemon's live endpoint in ``state_dir``.
+
+    Example::
+
+        write_endpoint(state_dir, host="127.0.0.1", port=server_port)
+    """
+    path = endpoint_path(state_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    scratch = path.with_name(path.name + f".tmp.{os.getpid()}")
+    document = {"protocol": PROTOCOL_VERSION, "host": host,
+                "port": int(port), "pid": os.getpid()}
+    scratch.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+    os.replace(scratch, path)
+    return path
+
+
+def read_endpoint(state_dir: str | Path) -> tuple[str, int]:
+    """Resolve ``(host, port)`` from a state directory's endpoint file.
+
+    Raises :class:`~repro.errors.ServiceError` when no daemon ever
+    advertised there or the file is unreadable.
+
+    Example::
+
+        host, port = read_endpoint("~/.cache/repro-service")
+    """
+    path = endpoint_path(state_dir)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ServiceError(
+            f"no service endpoint at {path}; start one with "
+            f"'repro serve --state-dir {Path(state_dir)}'") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"unreadable service endpoint {path}: {exc}") from None
+    if document.get("protocol") != PROTOCOL_VERSION:
+        raise ServiceError(
+            f"service endpoint {path} speaks protocol "
+            f"{document.get('protocol')!r}; this build speaks {PROTOCOL_VERSION}")
+    try:
+        return str(document["host"]), int(document["port"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"torn service endpoint {path}: {exc}") from None
+
+
+def connect(host: str, port: int, *, timeout: float | None = 10.0) -> socket.socket:
+    """Open a client connection to a daemon, with a connect timeout.
+
+    Raises :class:`~repro.errors.ServiceError` when nothing is listening
+    (the usual "daemon died but the endpoint file survived" case).
+
+    Example::
+
+        sock = connect(*read_endpoint(state_dir))
+    """
+    try:
+        sock = socket.create_connection((host, port), timeout=timeout)
+    except OSError as exc:
+        raise ServiceError(
+            f"cannot reach the optimization service at {host}:{port} "
+            f"({exc}); is the daemon running?") from None
+    sock.settimeout(timeout)
+    return sock

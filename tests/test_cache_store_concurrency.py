@@ -135,3 +135,86 @@ class TestMultiProcessStress:
         CacheStore(tmp_path).append(extra)
         healed = CacheStore(tmp_path).load_platform("cpu")
         assert healed == {**committed, **extra}
+
+
+class TestConcurrentSessions:
+    """Many OptimizationSessions over one store path (the service layout)."""
+
+    SESSION_ARGS = dict(model="resnet18", strategy="greedy", budget=5,
+                        image_size=8)
+
+    def test_threaded_sessions_share_one_store_object(self, tmp_path):
+        # The daemon's exact shape: one CacheStore *object* shared by
+        # worker threads, each running its own session.  Results must be
+        # identical to fresh serial runs, and the store must end with an
+        # exact, deduplicated entry set.
+        import threading
+
+        import repro
+        from repro.api import OptimizationSession
+
+        store = CacheStore(tmp_path / "shared")
+        outcomes: dict[int, object] = {}
+        failures: list[BaseException] = []
+
+        def run(seed: int) -> None:
+            try:
+                with OptimizationSession("cpu", tuner_trials=2, seed=seed,
+                                         cache_store=store) as session:
+                    outcomes[seed] = session.optimize(
+                        "resnet18", strategy="greedy", budget=5,
+                        image_size=8, seed=seed)
+            except BaseException as exc:  # pragma: no cover - the assertion
+                failures.append(exc)
+
+        threads = [threading.Thread(target=run, args=(seed,))
+                   for seed in (1, 2, 3, 4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert not failures
+        assert sorted(outcomes) == [1, 2, 3, 4]
+        for seed, result in outcomes.items():
+            serial = repro.optimize("resnet18", strategy="greedy", budget=5,
+                                    image_size=8, trials=2, seed=seed)
+            assert result.optimized_latency_seconds == \
+                serial.optimized_latency_seconds, seed
+            assert {d.layer: d.program for d in result.layers} == \
+                {d.layer: d.program for d in serial.layers}, seed
+        # Every session's write-back landed, deduplicated by digest.
+        final = CacheStore(tmp_path / "shared")
+        assert len(final.load_platform("cpu")) == len(final)
+        assert len(final) > 0
+
+    def test_process_sessions_share_one_store_path(self, tmp_path):
+        # Separate processes (separate CacheStore objects, one directory):
+        # the flock/torn-tail discipline must keep every session's
+        # write-back intact and the shard exactly dedup-consistent.
+        script = textwrap.dedent("""
+            import sys
+            from repro.api import OptimizationSession
+
+            directory, seed = sys.argv[1], int(sys.argv[2])
+            with OptimizationSession("cpu", tuner_trials=2, seed=seed,
+                                     cache_dir=directory) as session:
+                result = session.optimize("resnet18", strategy="greedy",
+                                          budget=5, image_size=8, seed=seed)
+            print(f"{result.optimized_latency_seconds:.17g}")
+        """)
+        processes = [_spawn(script, str(tmp_path / "store"), str(seed))
+                     for seed in (5, 6)]
+        latencies = {}
+        for seed, process in zip((5, 6), processes):
+            out, err = process.communicate(timeout=300)
+            assert process.returncode == 0, err
+            latencies[seed] = float(out.strip())
+        import repro
+
+        for seed, latency in latencies.items():
+            serial = repro.optimize("resnet18", strategy="greedy", budget=5,
+                                    image_size=8, trials=2, seed=seed)
+            assert latency == serial.optimized_latency_seconds, seed
+        store = CacheStore(tmp_path / "store")
+        (shard,) = store.info()
+        assert shard.entries == len(store.load_platform("cpu"))

@@ -182,3 +182,124 @@ class TestTopLevel:
             main(["--version"])
         assert excinfo.value.code == 0
         assert repro.__version__ in capsys.readouterr().out
+
+
+class TestExitCodes:
+    def test_error_families_map_to_stable_codes(self):
+        from repro.cli import EXIT_CODES, exit_code_for
+        from repro.errors import (CacheStoreError, CheckpointError,
+                                  EngineError, LegalityError, ReproError,
+                                  SearchError, ServiceError, ShapeError)
+
+        assert exit_code_for(ReproError("x")) == 1
+        assert exit_code_for(SearchError("x")) == 9
+        assert exit_code_for(EngineError("x")) == 10
+        assert exit_code_for(CheckpointError("x")) == 12
+        assert exit_code_for(ServiceError("x")) == 13
+        # Subclasses inherit their family's code via the MRO walk ...
+        assert exit_code_for(LegalityError("x")) == EXIT_CODES[
+            type(LegalityError("x")).__mro__[1]]
+        assert exit_code_for(CacheStoreError("x")) == 11  # not EngineError's
+        # ... and families without their own row fall back to the base.
+        assert exit_code_for(ShapeError("x")) == 1
+
+    def test_service_error_reaches_the_shell(self, capsys, tmp_path):
+        assert main(["status", "job-000001",
+                     "--state-dir", str(tmp_path)]) == 13
+        assert "no service endpoint" in capsys.readouterr().err
+
+    def test_checkpoint_error_reaches_the_shell(self, capsys, tmp_path):
+        torn = tmp_path / "torn.ckpt.json"
+        torn.write_text("{ not json")
+        assert main(["resume", str(torn)]) == 12
+        assert "checkpoint" in capsys.readouterr().err.lower()
+
+
+class TestSignalledOptimize:
+    def test_sigterm_flushes_checkpoint_and_resume_matches_golden(
+            self, capsys, tmp_path, monkeypatch):
+        # Satellite of the service PR: `repro optimize --checkpoint` must
+        # translate SIGTERM into a final checkpoint flush and exit 130,
+        # and `repro resume` must then reproduce the uninterrupted run.
+        import os
+        import signal
+
+        from repro import cli
+
+        args = ["--model", "resnet18", "--strategy", "evolutionary",
+                "--budget", "8", "--trials", "2", "--seed", "3",
+                "--image-size", "8", "--json"]
+        golden = json.loads(run_cli(capsys, "optimize", *args))
+
+        fired = []
+
+        def kill_on_second_batch(event) -> None:
+            if event.kind == "tune_batch":
+                fired.append(event)
+                if len(fired) == 2:
+                    os.kill(os.getpid(), signal.SIGTERM)
+
+        monkeypatch.setattr(cli, "_print_progress", kill_on_second_batch)
+        checkpoint = tmp_path / "run.ckpt.json"
+        # Rate-limit periodic writes away: only the abort-path flush can
+        # make the checkpoint carry the second batch's tunings.
+        code = main(["optimize", *args, "--progress",
+                     "--checkpoint", str(checkpoint),
+                     "--checkpoint-interval", "3600"])
+        err = capsys.readouterr().err
+        assert code == 130, err
+        assert "resume with" in err
+        document = json.loads(checkpoint.read_text())
+        assert document["entries"], "the final flush must persist tunings"
+        assert not document["completed"]
+
+        resumed = json.loads(run_cli(capsys, "resume", str(checkpoint),
+                                     "--json"))
+        for key in ("engine_statistics",):
+            golden.pop(key, None)
+            resumed.pop(key, None)
+        for volatile in ("search_seconds", "compile_hits", "compile_misses",
+                         "prefix_hits", "prefix_depth_saved"):
+            golden["search_statistics"].pop(volatile, None)
+            resumed["search_statistics"].pop(volatile, None)
+        assert resumed == golden
+
+
+class TestServiceSubcommands:
+    @pytest.fixture
+    def daemon(self, tmp_path):
+        from repro.service import OptimizationService
+
+        service = OptimizationService(tmp_path / "svc", workers=1)
+        service.start()
+        try:
+            yield str(tmp_path / "svc")
+        finally:
+            service.stop()
+
+    def test_submit_wait_status_result_jobs_watch(self, capsys, daemon):
+        out = run_cli(capsys, "submit", "--state-dir", daemon,
+                      "--model", "resnet18", *TINY_OPTIMIZE)
+        job_id = out.strip()
+        assert job_id.startswith("job-")
+        summary = run_cli(capsys, "submit", "--state-dir", daemon,
+                          "--model", "resnet18", "--wait", *TINY_OPTIMIZE)
+        assert "speedup" in summary
+        assert job_id in run_cli(capsys, "status", "--state-dir", daemon,
+                                 job_id)
+        document = json.loads(run_cli(capsys, "result", "--state-dir", daemon,
+                                      job_id, "--json"))
+        result = OptimizationResult.from_dict(document)
+        assert result.speedup >= 1.0
+        listing = run_cli(capsys, "jobs", "--state-dir", daemon)
+        assert listing.count("done") == 2
+        events = [json.loads(line) for line in
+                  run_cli(capsys, "watch", "--state-dir", daemon,
+                          job_id).splitlines()]
+        assert events[0]["kind"] == "job_started"
+        assert events[-1]["kind"] == "stream_end"
+        assert events[-1]["data"]["state"] == "done"
+
+    def test_cancel_and_unknown_job(self, capsys, daemon):
+        assert main(["cancel", "--state-dir", daemon, "job-000042"]) == 13
+        assert "unknown job" in capsys.readouterr().err

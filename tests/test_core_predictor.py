@@ -284,3 +284,125 @@ class TestStrategyBehaviour:
         assert engine.cache_size == 2
         # More trials can only improve (or match) the tuned schedule.
         assert full <= low
+
+
+class TestConstantLiar:
+    """Pending-point imputation (cl_min/cl_max/cl_mean) on the surrogate."""
+
+    def _warm_predictor(self) -> LatencyPredictor:
+        predictor = LatencyPredictor(min_observations=4, l2=1e-8)
+        programs = list(paper_sequences().values())
+        predictor.set_reference(SHAPE, 2e-4)
+        for program, ratio in zip(programs, (0.5, 0.25, 0.75)):
+            predictor.observe(SHAPE, program, 2e-4 * ratio, trials=4)
+        predictor.observe(SHAPE, STANDARD, 2e-4, trials=4)
+        return predictor
+
+    def test_lie_values_follow_their_strategy(self):
+        values = {}
+        for strategy in ("cl_min", "cl_max", "cl_mean"):
+            predictor = self._warm_predictor()
+            values[strategy] = predictor.lie(SHAPE, STANDARD, trials=4,
+                                             strategy=strategy)
+        assert values["cl_min"] <= values["cl_mean"] <= values["cl_max"]
+        assert values["cl_min"] < values["cl_max"]
+
+    def test_lies_are_not_observations(self):
+        predictor = self._warm_predictor()
+        before = predictor.statistics.observations
+        predictor.lie(SHAPE, STANDARD, trials=4, strategy="cl_mean")
+        assert predictor.lies == 1
+        assert predictor.statistics.observations == before
+        assert predictor.retract_lies() == 1
+        assert predictor.lies == 0
+
+    def test_unknown_strategy_and_cold_lie_raise(self):
+        predictor = self._warm_predictor()
+        with pytest.raises(SearchError, match="liar"):
+            predictor.lie(SHAPE, STANDARD, trials=4, strategy="cl_median")
+        with pytest.raises(SearchError):
+            LatencyPredictor().lie(SHAPE, STANDARD, trials=4,
+                                   strategy="cl_mean")
+
+    def test_lie_fits_do_not_clear_the_verification_ledger(self):
+        predictor = self._warm_predictor()
+        assert predictor.fit()
+        assert predictor.statistics.fits == 1
+        # A lie dirties the model; the refit it forces is a liar fit.
+        predictor.lie(SHAPE, STANDARD, trials=4, strategy="cl_mean")
+        predictor.predict(SHAPE, STANDARD, trials=4)
+        assert predictor.statistics.fits == 1
+        assert predictor.statistics.liar_fits == 1
+        # Liar-biased predictions never enter the MAE ledger: tuning the
+        # same key later verifies nothing.
+        predictor.retract_lies()
+        predictor.observe(ConvolutionShape(32, 16, 8, 8, 3, 3), STANDARD,
+                          3e-4, trials=4)
+        assert predictor.statistics.verified_predictions == 0
+        # Real data arrived: the next fit is a real fit again.
+        predictor.predict(SHAPE, STANDARD, trials=4)
+        assert predictor.statistics.fits == 2
+
+    def test_lies_bias_predictions_until_retracted(self):
+        predictor = self._warm_predictor()
+        program = list(paper_sequences().values())[0]
+        honest = predictor.predict(SHAPE, program, trials=4)
+        lying = self._warm_predictor()
+        for _ in range(4):
+            lying.lie(SHAPE, program, trials=4, strategy="cl_max")
+        biased = lying.predict(SHAPE, program, trials=4)
+        assert biased != honest
+        lying.retract_lies()
+        assert lying.predict(SHAPE, program, trials=4) == \
+            pytest.approx(honest)
+
+
+class TestLiarBatchSearch:
+    """model_guided's batch-concurrent rounds under constant-liar."""
+
+    @staticmethod
+    def _run(liar: str):
+        dataset = SyntheticImageDataset.cifar10_like(
+            train_size=32, test_size=16, image_size=8, seed=0)
+        images, labels = dataset.random_minibatch(4, seed=0)
+        events = []
+        search = UnifiedSearch(get_platform("cpu"), configurations=16,
+                               tuner_trials=3, strategy="model_guided",
+                               space=UnifiedSpaceConfig(seed=0), seed=0,
+                               observer=lambda event: events.append(event.kind),
+                               liar=liar)
+        result = search.search(_small_model(), images, labels,
+                               dataset.spec.image_shape)
+        return search, result, events
+
+    def test_unknown_liar_rejected(self):
+        with pytest.raises(SearchError, match="liar"):
+            UnifiedSearch(get_platform("cpu"), liar="cl_median")
+
+    def test_refits_on_real_data_once_per_round(self):
+        search, result, events = self._run("cl_mean")
+        statistics = search.predictor.statistics
+        assert result.speedup >= 0.999
+        # Liar selection refits the surrogate between picks, but every
+        # fit that consumes real observations is one of the once-per-round
+        # top-of-round fits — exactly the predictor_fitted events.
+        assert statistics.liar_fits > 0
+        assert statistics.fits == events.count("predictor_fitted")
+        assert statistics.fits < statistics.predictions
+        # All lies were retracted before the round's real tunings.
+        assert search.predictor.lies == 0
+
+    def test_static_ranking_keeps_old_behaviour(self):
+        search, result, _events = self._run("none")
+        assert result.speedup >= 0.999
+        assert search.predictor.statistics.liar_fits == 0
+
+    def test_liar_runs_are_deterministic(self):
+        first_search, first, _ = self._run("cl_mean")
+        second_search, second, _ = self._run("cl_mean")
+        assert first.optimized_latency_seconds == \
+            second.optimized_latency_seconds
+        assert {n: c.sequence for n, c in first.choices.items()} == \
+            {n: c.sequence for n, c in second.choices.items()}
+        assert first_search.predictor.statistics.fits == \
+            second_search.predictor.statistics.fits

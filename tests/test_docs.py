@@ -94,7 +94,8 @@ class TestReadme:
 
     def test_readme_covers_every_cli_subcommand(self):
         readme = (REPO_ROOT / "README.md").read_text()
-        for subcommand in ("run", "optimize", "tune", "platforms",
-                           "experiments", "cache"):
+        for subcommand in ("run", "optimize", "resume", "tune", "platforms",
+                           "experiments", "cache", "serve", "submit",
+                           "status", "result", "cancel", "watch", "jobs"):
             assert f"repro {subcommand}" in readme, (
                 f"README.md CLI table is missing 'repro {subcommand}'")
