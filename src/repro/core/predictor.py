@@ -49,7 +49,7 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.core.encoding import FEATURE_NAMES, encode_candidate
+from repro.core.encoding import get_encoding
 from repro.core.events import ProgressEvent
 from repro.core.program import TransformProgram, program_from_dict
 from repro.errors import SearchError
@@ -96,6 +96,10 @@ class PredictorStatistics:
     predictions: int = 0
     verified_predictions: int = 0
     absolute_error_sum: float = 0.0
+    #: observations absorbed from another platform's predictor through
+    #: :meth:`LatencyPredictor.warm_start_from` (kept apart from
+    #: ``observations``, which counts this platform's real tunings only)
+    transferred: int = 0
 
     @property
     def mean_absolute_error(self) -> float:
@@ -104,10 +108,55 @@ class PredictorStatistics:
         return self.absolute_error_sum / self.verified_predictions
 
 
+#: The decorator-registered learner portfolio (DeepHyper AMBS's RF/GBRT/GP
+#: zoo, pure numpy).  Every learner is deterministic for a given ``seed``
+#: and observation history, fits ``fit(features, targets)`` /
+#: ``predict(features)``, and may expose ``predict_std(features)`` for its
+#: native posterior spread (the GP's analytic one, the forest's tree
+#: spread, GBRT's homoscedastic residual estimate; ridge has none and
+#: relies on the bootstrap ensemble).
+LEARNER_REGISTRY: dict[str, type] = {}
+
+
+def register_learner(name: str):
+    """Class decorator adding a surrogate learner to the portfolio.
+
+    Example::
+
+        @register_learner("my_learner")
+        class MyLearner:
+            def __init__(self, *, l2=1e-3, seed=0): ...
+            def fit(self, features, targets): ...
+            def predict(self, features): ...
+    """
+
+    def wrap(cls):
+        cls.learner_name = name
+        LEARNER_REGISTRY[name] = cls
+        return cls
+
+    return wrap
+
+
+def get_learner(name: str) -> type:
+    """Resolve a registered learner class by name.
+
+    Example::
+
+        cls = get_learner("random_forest")
+    """
+    try:
+        return LEARNER_REGISTRY[name]
+    except KeyError:
+        raise SearchError(f"unknown learner '{name}'; expected one of "
+                          f"{tuple(LEARNER_REGISTRY)}") from None
+
+
+@register_learner("ridge")
 class _RidgeModel:
     """Closed-form ridge regression with feature standardisation."""
 
-    def __init__(self, l2: float = 1e-3):
+    def __init__(self, l2: float = 1e-3, seed: int = 0):
         self.l2 = l2
         self._mean: np.ndarray | None = None
         self._scale: np.ndarray | None = None
@@ -133,6 +182,262 @@ class _RidgeModel:
         return standardised @ self._weights + self._intercept
 
 
+class _RegressionTree:
+    """One deterministic CART regression tree (exhaustive SSE splits).
+
+    Nodes are tuples ``(feature, threshold, left, right, value)``; leaf
+    nodes carry ``feature == -1`` and the leaf mean in ``value``.  Split
+    search is exhaustive over midpoint thresholds per candidate feature,
+    first-best wins on ties — no randomness beyond the caller-chosen
+    feature subset and rows, so refits are bit-reproducible.
+    """
+
+    def __init__(self, max_depth: int, min_leaf: int):
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self._nodes: list[tuple[int, float, int, int, float]] = []
+
+    def fit(self, features: np.ndarray, targets: np.ndarray,
+            feature_sets: list[np.ndarray]) -> None:
+        """Grow the tree; ``feature_sets[depth]`` lists splittable columns."""
+        self._nodes = []
+        self._grow(features, targets, np.arange(len(targets)), 0, feature_sets)
+
+    def _grow(self, features: np.ndarray, targets: np.ndarray,
+              rows: np.ndarray, depth: int,
+              feature_sets: list[np.ndarray]) -> int:
+        node_index = len(self._nodes)
+        self._nodes.append((-1, 0.0, -1, -1, float(targets[rows].mean())))
+        if depth >= self.max_depth or len(rows) < 2 * self.min_leaf:
+            return node_index
+        split = self._best_split(features, targets, rows,
+                                 feature_sets[min(depth,
+                                                  len(feature_sets) - 1)])
+        if split is None:
+            return node_index
+        feature, threshold = split
+        below = rows[features[rows, feature] <= threshold]
+        above = rows[features[rows, feature] > threshold]
+        left = self._grow(features, targets, below, depth + 1, feature_sets)
+        right = self._grow(features, targets, above, depth + 1, feature_sets)
+        value = self._nodes[node_index][4]
+        self._nodes[node_index] = (feature, threshold, left, right, value)
+        return node_index
+
+    def _best_split(self, features: np.ndarray, targets: np.ndarray,
+                    rows: np.ndarray, columns: np.ndarray
+                    ) -> tuple[int, float] | None:
+        best: tuple[int, float] | None = None
+        best_sse = math.inf
+        values = targets[rows]
+        for feature in columns:
+            order = np.argsort(features[rows, feature], kind="stable")
+            sorted_values = features[rows, feature][order]
+            sorted_targets = values[order]
+            prefix = np.cumsum(sorted_targets)
+            prefix_sq = np.cumsum(sorted_targets * sorted_targets)
+            total, total_sq = prefix[-1], prefix_sq[-1]
+            count = len(rows)
+            for cut in range(self.min_leaf, count - self.min_leaf + 1):
+                if cut == count or sorted_values[cut - 1] == sorted_values[cut]:
+                    continue
+                left_sse = prefix_sq[cut - 1] - prefix[cut - 1] ** 2 / cut
+                right_count = count - cut
+                right_sum = total - prefix[cut - 1]
+                right_sse = (total_sq - prefix_sq[cut - 1]
+                             - right_sum ** 2 / right_count)
+                sse = left_sse + right_sse
+                if sse < best_sse - 1e-15:
+                    best_sse = sse
+                    threshold = 0.5 * (sorted_values[cut - 1]
+                                       + sorted_values[cut])
+                    best = (int(feature), float(threshold))
+        return best
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        out = np.empty(len(features), dtype=np.float64)
+        for row in range(len(features)):
+            node = 0
+            while True:
+                feature, threshold, left, right, value = self._nodes[node]
+                if feature < 0:
+                    out[row] = value
+                    break
+                node = left if features[row, feature] <= threshold else right
+        return out
+
+
+@register_learner("random_forest")
+class _RandomForestModel:
+    """Deterministic bagged regression trees with per-tree feature subsets.
+
+    Each tree fits a seeded bootstrap resample and may split only on a
+    seeded subset of features per level (the classic √p rule), so the
+    ensemble carries genuine predictive spread — ``predict_std`` is the
+    across-tree standard deviation the acquisition functions consume.
+    """
+
+    n_trees = 16
+    max_depth = 6
+    min_leaf = 2
+
+    def __init__(self, l2: float = 1e-3, seed: int = 0):
+        self.seed = int(seed)
+        self._trees: list[_RegressionTree] = []
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        rng = np.random.default_rng([0xF0 << 8, self.seed & 0x7FFFFFFF])
+        width = features.shape[1]
+        subset = max(1, int(math.sqrt(width)))
+        self._trees = []
+        for _ in range(self.n_trees):
+            rows = np.sort(rng.integers(0, len(targets), size=len(targets)))
+            feature_sets = [np.sort(rng.permutation(width)[:subset])
+                            for _ in range(self.max_depth)]
+            tree = _RegressionTree(self.max_depth, self.min_leaf)
+            tree.fit(features[rows], targets[rows], feature_sets)
+            self._trees.append(tree)
+
+    def _stacked(self, features: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise SearchError("random forest queried before its first fit")
+        return np.stack([tree.predict(features) for tree in self._trees])
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._stacked(features).mean(axis=0)
+
+    def predict_std(self, features: np.ndarray) -> np.ndarray:
+        return self._stacked(features).std(axis=0)
+
+
+@register_learner("gbrt")
+class _GradientBoostedModel:
+    """Deterministic gradient-boosted shallow trees (squared loss).
+
+    Stages fit the running residual with full-data, all-feature trees —
+    no sampling, so there is no RNG at all and refits are bit-stable.
+    ``predict_std`` reports the homoscedastic training-residual RMSE:
+    a constant spread, which keeps uncertainty-aware acquisitions
+    well-defined without inventing per-point variance the model does
+    not have.
+    """
+
+    n_stages = 40
+    learning_rate = 0.1
+    max_depth = 3
+    min_leaf = 2
+
+    def __init__(self, l2: float = 1e-3, seed: int = 0):
+        self._trees: list[_RegressionTree] = []
+        self._intercept = 0.0
+        self._sigma = 0.0
+        self._fitted = False
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        self._fitted = True
+        self._intercept = float(targets.mean())
+        residual = targets - self._intercept
+        all_features = [np.arange(features.shape[1])]
+        self._trees = []
+        for _ in range(self.n_stages):
+            if float(np.abs(residual).max()) < 1e-12:
+                break
+            tree = _RegressionTree(self.max_depth, self.min_leaf)
+            tree.fit(features, residual, all_features)
+            step = tree.predict(features)
+            residual = residual - self.learning_rate * step
+            self._trees.append(tree)
+        self._sigma = float(np.sqrt(np.mean(residual * residual)))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if not self._fitted:
+            raise SearchError("gbrt model queried before its first fit")
+        out = np.full(len(features), self._intercept, dtype=np.float64)
+        for tree in self._trees:
+            out += self.learning_rate * tree.predict(features)
+        return out
+
+    def predict_std(self, features: np.ndarray) -> np.ndarray:
+        return np.full(len(features), self._sigma, dtype=np.float64)
+
+
+@register_learner("gp")
+class _GaussianProcessModel:
+    """Small exact GP: RBF kernel on standardised features, Cholesky solve.
+
+    The length scale comes from the median pairwise-distance heuristic
+    and the amplitude from the target variance — both deterministic
+    functions of the training set, no optimiser loop.  ``predict_std``
+    is the exact posterior standard deviation, the one learner in the
+    portfolio with calibrated analytic uncertainty.
+    """
+
+    noise = 1e-2
+
+    def __init__(self, l2: float = 1e-3, seed: int = 0):
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+        self._train: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+        self._chol: np.ndarray | None = None
+        self._intercept = 0.0
+        self._amplitude = 1.0
+        self._length_scale = 1.0
+
+    def _standardise(self, features: np.ndarray) -> np.ndarray:
+        return (features - self._mean) / self._scale
+
+    def _kernel(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        distances = ((left[:, None, :] - right[None, :, :]) ** 2).sum(axis=2)
+        return self._amplitude * np.exp(
+            -0.5 * distances / (self._length_scale ** 2))
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        self._mean = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        self._scale = scale
+        train = self._standardise(features)
+        self._train = train
+        self._intercept = float(targets.mean())
+        centred = targets - self._intercept
+        self._amplitude = max(float(centred.var()), 1e-8)
+        distances = ((train[:, None, :] - train[None, :, :]) ** 2).sum(axis=2)
+        upper = distances[np.triu_indices(len(train), k=1)]
+        positive = upper[upper > 1e-12]
+        self._length_scale = (math.sqrt(float(np.median(positive)))
+                              if positive.size else 1.0)
+        kernel = self._kernel(train, train)
+        jitter = self.noise * self._amplitude
+        for _ in range(6):
+            try:
+                self._chol = np.linalg.cholesky(
+                    kernel + jitter * np.eye(len(train)))
+                break
+            except np.linalg.LinAlgError:
+                jitter *= 10.0
+        else:  # pragma: no cover - six decades of jitter always suffice
+            raise SearchError("GP kernel is not positive definite")
+        self._alpha = np.linalg.solve(
+            self._chol.T, np.linalg.solve(self._chol, centred))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        if self._alpha is None:
+            raise SearchError("GP model queried before its first fit")
+        cross = self._kernel(self._standardise(features), self._train)
+        return cross @ self._alpha + self._intercept
+
+    def predict_std(self, features: np.ndarray) -> np.ndarray:
+        cross = self._kernel(self._standardise(features), self._train)
+        solved = np.linalg.solve(self._chol, cross.T)
+        variance = self._amplitude - (solved * solved).sum(axis=0)
+        return np.sqrt(np.maximum(variance, 0.0))
+
+
+#: Registered learner names, in registration order (``ridge`` first).
+LEARNERS = tuple(LEARNER_REGISTRY)
+
+
 class LatencyPredictor:
     """Online surrogate over candidate encodings (see the module docstring).
 
@@ -140,6 +445,11 @@ class LatencyPredictor:
     bootstrap resamples (seeded by ``seed``) and predicts their mean —
     the BANANAS-style ensemble without its neural network.  The default
     is the single exact ridge fit.
+
+    ``learner`` picks the surrogate family from the registered portfolio
+    (:data:`LEARNERS`; the default ``ridge`` is the historical reference)
+    and ``encoding`` the candidate featurization
+    (:data:`~repro.core.encoding.ENCODINGS`).
 
     Example::
 
@@ -150,7 +460,8 @@ class LatencyPredictor:
     """
 
     def __init__(self, *, min_observations: int = 8, l2: float = 1e-3,
-                 ensemble_size: int = 1, seed: int = 0):
+                 ensemble_size: int = 1, seed: int = 0,
+                 learner: str = "ridge", encoding: str = "flat"):
         if min_observations < 2:
             raise SearchError("the predictor needs at least two observations")
         if ensemble_size < 1:
@@ -159,12 +470,15 @@ class LatencyPredictor:
         self.l2 = l2
         self.ensemble_size = ensemble_size
         self.seed = 0 if seed is None else int(seed)
+        self.learner = learner
+        self._learner_cls = get_learner(learner)
+        self._encoding = get_encoding(encoding)
         self.statistics = PredictorStatistics()
         self._features: list[np.ndarray] = []
         self._targets: list[float] = []
         self._seen: set[CandidateKey] = set()
         self._pending: dict[CandidateKey, float] = {}
-        self._models: list[_RidgeModel] = []
+        self._models: list = []
         self._dirty = False
         #: set when new *real* observations arrived since the last fit
         #: (a lie also marks ``_dirty``, but only real data invalidates
@@ -177,6 +491,17 @@ class LatencyPredictor:
         #: without disturbing observation order
         self._lie_features: list[np.ndarray] = []
         self._lie_targets: list[float] = []
+        #: cross-platform transfer rows (see :meth:`warm_start_from`):
+        #: features verbatim, targets as z-scores of the *source*
+        #: platform's target distribution, mapped into this platform's
+        #: distribution at fit time
+        self._transfer_features: list[np.ndarray] = []
+        self._transfer_zscores: list[float] = []
+
+    @property
+    def encoding(self) -> str:
+        """Name of the candidate encoding this predictor featurizes with."""
+        return self._encoding.name
 
     # ------------------------------------------------------------------
     # Reference latencies (targets become log ratios to these)
@@ -205,13 +530,12 @@ class LatencyPredictor:
     # ------------------------------------------------------------------
     # Observations
     # ------------------------------------------------------------------
-    @staticmethod
-    def _encode(shape: ConvolutionShape, program: TransformProgram,
+    def _encode(self, shape: ConvolutionShape, program: TransformProgram,
                 trials: int) -> np.ndarray:
         # The tuner-trial budget is the fidelity axis: more trials find
         # better schedules, so the fidelity rides along as one extra
         # feature and low-fidelity observations still teach the model.
-        base = encode_candidate(shape, program)
+        base = self._encoding.encode(shape, program)
         return np.concatenate([base, [math.log2(max(int(trials), 1))]])
 
     def observe(self, shape: ConvolutionShape, program: TransformProgram,
@@ -368,8 +692,81 @@ class LatencyPredictor:
     # ------------------------------------------------------------------
     @property
     def ready(self) -> bool:
-        """True once enough observations arrived for a trustworthy fit."""
-        return len(self._targets) >= self.min_observations
+        """True once enough observations arrived for a trustworthy fit.
+
+        Rows absorbed through :meth:`warm_start_from` count towards
+        readiness — that is the transfer's entire point: the warmed
+        predictor guides the search before this platform has paid for
+        ``min_observations`` tunings of its own.
+        """
+        return (len(self._targets) + len(self._transfer_zscores)
+                >= self.min_observations)
+
+    def _mapped_transfer_targets(self) -> list[float]:
+        """Transfer z-scores mapped into this platform's target distribution.
+
+        With fewer than two native targets the destination's statistics
+        are unknown, so the z-scores pass through unmapped — log-ratio
+        targets are roughly standard-normal once references are set, so
+        the identity map is the right uninformed prior.
+        """
+        if not self._transfer_zscores:
+            return []
+        mean, scale = 0.0, 1.0
+        if len(self._targets) >= 2:
+            native = np.array(self._targets)
+            mean = float(native.mean())
+            spread = float(native.std())
+            if spread > 1e-12:
+                scale = spread
+        return [zscore * scale + mean for zscore in self._transfer_zscores]
+
+    def warm_start_from(self, other: "LatencyPredictor") -> int:
+        """Absorb another platform's observations as transfer rows.
+
+        Cross-platform transfer per the paper's "one network, many
+        targets" study: the source predictor's real observations are
+        copied as extra training rows, with each target mapped through
+        the *standardisation statistics* of both platforms — stored as a
+        z-score of the source's target distribution, de-standardised
+        into this platform's distribution at fit time — so a uniformly
+        faster or slower target does not bias the transferred rows.
+        Transferred rows count towards :attr:`ready` (letting
+        ``model_guided`` skip cold-start random tunings, reported as
+        ``evaluations_saved``) but never towards
+        ``statistics.observations``; they land in
+        ``statistics.transferred``.  Both predictors must featurize with
+        the same encoding.  Returns the number of rows absorbed.
+
+        Example::
+
+            warm = LatencyPredictor()
+            ...                       # train warm on platform A
+            cold = LatencyPredictor()
+            cold.warm_start_from(warm)   # platform B starts guided
+        """
+        if other is self:
+            raise SearchError("a predictor cannot warm-start from itself")
+        if other.encoding != self.encoding:
+            raise SearchError(
+                f"encoding mismatch: cannot warm-start a '{self.encoding}'"
+                f"-encoded predictor from a '{other.encoding}' one")
+        if not other._targets:
+            return 0
+        source = np.array(other._targets)
+        source_mean = float(source.mean())
+        source_scale = float(source.std())
+        if source_scale < 1e-12:
+            source_scale = 1.0
+        for row, target in zip(other._features, other._targets):
+            self._transfer_features.append(np.array(row, copy=True))
+            self._transfer_zscores.append((target - source_mean)
+                                          / source_scale)
+        absorbed = len(other._targets)
+        self.statistics.transferred += absorbed
+        self._dirty = True
+        self._dirty_real = True
+        return absorbed
 
     def fit(self) -> bool:
         """(Re)fit on everything observed so far; returns True when it ran.
@@ -377,20 +774,24 @@ class LatencyPredictor:
         Lazy: a clean model (no observations since the last fit) is left
         untouched, so callers may invoke ``fit`` per round for free.
         Active constant-liar pseudo-observations (see :meth:`lie`) join
-        the training rows; a fit that consumed only lies is counted as a
-        ``liar_fit`` and leaves the pending-prediction ledger alone.
+        the training rows, as do cross-platform transfer rows (see
+        :meth:`warm_start_from`); a fit that consumed only lies is
+        counted as a ``liar_fit`` and leaves the pending-prediction
+        ledger alone.
         """
         if not self.ready or not self._dirty:
             return False
-        features = np.stack(self._features + self._lie_features)
-        targets = np.array(self._targets + self._lie_targets)
-        models = [_RidgeModel(l2=self.l2)]
+        features = np.stack(self._features + self._transfer_features
+                            + self._lie_features)
+        targets = np.array(self._targets + self._mapped_transfer_targets()
+                           + self._lie_targets)
+        models = [self._learner_cls(l2=self.l2, seed=self.seed)]
         models[0].fit(features, targets)
         if self.ensemble_size > 1:
             rng = make_rng(self.seed)
             for _ in range(self.ensemble_size - 1):
                 picks = rng.integers(0, len(targets), size=len(targets))
-                member = _RidgeModel(l2=self.l2)
+                member = self._learner_cls(l2=self.l2, seed=self.seed)
                 member.fit(features[picks], targets[picks])
                 models.append(member)
         self._models = models
@@ -427,6 +828,28 @@ class LatencyPredictor:
             predicted = predictor.predict_batch(pairs, trials=8)
             order = np.argsort(predicted)
         """
+        return self.predict_batch_with_std(items, trials=trials)[0]
+
+    def predict_batch_with_std(self, items: Iterable[tuple[ConvolutionShape,
+                                                           TransformProgram]],
+                               *, trials: int = 1
+                               ) -> tuple[np.ndarray, np.ndarray]:
+        """Predicted latencies *and* posterior spreads, in seconds.
+
+        The spread is the surrogate's uncertainty as the acquisition
+        functions (:mod:`repro.core.acquisition`) consume it: the
+        across-member standard deviation of a bootstrap ensemble when
+        ``ensemble_size > 1``, else the learner's native
+        ``predict_std`` (the GP's analytic posterior, the forest's tree
+        spread), else zero — under which every acquisition degrades to
+        the plain rank.  Log-space spread is mapped to seconds by the
+        delta method (``std = predicted * sigma_log``).
+
+        Example::
+
+            predicted, spread = predictor.predict_batch_with_std(pairs,
+                                                                 trials=8)
+        """
         items = list(items)
         self.fit()
         if not self._models:
@@ -434,13 +857,21 @@ class LatencyPredictor:
                 f"predictor is cold: {len(self._targets)} observation(s) "
                 f"recorded, needs {self.min_observations}")
         if not items:
-            return np.empty(0, dtype=np.float64)
+            return (np.empty(0, dtype=np.float64),
+                    np.empty(0, dtype=np.float64))
         features = np.stack([self._encode(shape, program, int(trials))
                              for shape, program in items])
         stacked = np.stack([model.predict(features) for model in self._models])
         references = np.array([self._reference_for(shape)
                                for shape, _program in items])
         predicted = np.exp(stacked.mean(axis=0)) * references
+        if len(self._models) > 1:
+            sigma_log = stacked.std(axis=0)
+        elif hasattr(self._models[0], "predict_std"):
+            sigma_log = np.asarray(self._models[0].predict_std(features),
+                                   dtype=np.float64)
+        else:
+            sigma_log = np.zeros(len(items), dtype=np.float64)
         if not self._lie_targets:
             # Liar-biased interim predictions are selection aids, not
             # claims about real latencies: only lie-free predictions enter
@@ -448,9 +879,9 @@ class LatencyPredictor:
             for (shape, program), seconds in zip(items, predicted):
                 self._pending[(shape, program, int(trials))] = float(seconds)
         self.statistics.predictions += len(items)
-        return predicted
+        return predicted, predicted * sigma_log
 
     @property
     def feature_width(self) -> int:
         """Width of the model's input (encoding columns + the fidelity)."""
-        return len(FEATURE_NAMES) + 1
+        return len(self._encoding.feature_names) + 1

@@ -33,10 +33,14 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.core.acquisition import (DEFAULT_KAPPA, acquisition_rng, argbest,
+                                    get_acquisition, ranking)
 from repro.core.compile_cache import COMPILE_CACHE
+from repro.core.encoding import get_encoding
 from repro.core.engine import EvaluationEngine, FisherOracle
 from repro.core.events import Observer, ProgressEvent
-from repro.core.predictor import LIAR_STRATEGIES, LatencyPredictor
+from repro.core.predictor import (LIAR_STRATEGIES, LatencyPredictor,
+                                  get_learner)
 from repro.core.program import TransformProgram
 from repro.core.sequences import predefined_program
 from repro.core.unified_space import UnifiedSpace, UnifiedSpaceConfig
@@ -551,11 +555,23 @@ class ModelGuidedStrategy:
         # Insertion-ordered on purpose: set iteration order would depend
         # on string hashing and break run-to-run reproducibility.
         tuned: dict[tuple[ConvolutionShape, TransformProgram], None] = {}
+        # Best observed latency ratio (tuned / baseline) so far — the
+        # incumbent the improvement-based acquisitions (EI, PI) measure
+        # against.  The baselines themselves sit at ratio 1.0.
+        best_ratio = [1.0]
+        # Stochastic acquisitions draw from a dedicated stream derived
+        # from the search seed, never from ``context.rng`` — swapping the
+        # acquisition cannot perturb any result-bearing random decision.
+        acq_rng = acquisition_rng(search.seed)
 
         def tune_batch(batch) -> None:
             if not batch:
                 return
             latencies = context.engine.tune_many(batch)
+            for (shape, _program), seconds in zip(batch, latencies):
+                ratio = seconds / baselines[shape]
+                if ratio < best_ratio[0]:
+                    best_ratio[0] = ratio
             # Feed the surrogate directly from the batch results, in
             # batch order, rather than through the engine's tune_result
             # events: events fire for cache misses only, so on a warm
@@ -585,6 +601,15 @@ class ModelGuidedStrategy:
             picks = context.rng.permutation(len(untuned))[:init]
             tune_batch([untuned[int(index)] for index in sorted(picks)])
 
+        # A warm-started surrogate (see LatencyPredictor.warm_start_from)
+        # is ready before this platform paid for min_observations tunings
+        # of its own; the cold-start random rounds it skips are
+        # evaluations the transfer saved.
+        if predictor.statistics.transferred and predictor.ready:
+            context.statistics.evaluations_saved += max(
+                0, predictor.min_observations
+                - predictor.statistics.observations)
+
         while untuned and spent() < budget:
             remaining = budget - spent()
             if predictor.fit():
@@ -598,7 +623,7 @@ class ModelGuidedStrategy:
                 # starve the rest of the network.  The whole batch then
                 # tunes concurrently through one tune_many submission and
                 # the surrogate refits on real data once per round.
-                if search.liar == "none":
+                if search.acquisition == "rank" and search.liar == "none":
                     predicted = predictor.predict_batch(
                         untuned, trials=context.engine.tuner_trials)
                     # Rank by predicted latency relative to the pair's own
@@ -614,9 +639,13 @@ class ModelGuidedStrategy:
                         order.append(int(index))
                         if len(order) >= remaining:
                             break
-                else:
+                elif search.acquisition == "rank":
                     order = self._liar_batch(search, context, predictor,
                                              untuned, baselines, remaining)
+                else:
+                    order = self._acquisition_batch(
+                        search, context, predictor, untuned, baselines,
+                        remaining, best_ratio[0], acq_rng)
             else:
                 # Cold start: the surrogate is not trustworthy yet, fall
                 # back to random exploration — but only for as many
@@ -660,6 +689,68 @@ class ModelGuidedStrategy:
                 gain = np.array([baselines[untuned[index][0]]
                                  for index in candidates])
                 pick = candidates[int(np.argmin(predicted / gain))]
+                shape, program = untuned[pick]
+                order.append(pick)
+                shapes_picked.add(shape)
+                predictor.lie(shape, program,
+                              trials=context.engine.tuner_trials,
+                              strategy=search.liar)
+                candidates = [index for index in candidates
+                              if untuned[index][0] not in shapes_picked]
+        finally:
+            predictor.retract_lies()
+        return order
+
+    @staticmethod
+    def _acquisition_batch(search: "UnifiedSearch", context: _SearchContext,
+                           predictor, untuned, baselines, remaining: int,
+                           best_ratio: float, acq_rng) -> list[int]:
+        """Acquisition-scored round selection (EI/PI/LCB/Thompson).
+
+        The objective is the predicted latency *ratio* to the pair's own
+        baseline (lower is better, the incumbent is ``best_ratio``), so
+        one acquisition score is comparable across shapes whose absolute
+        latencies differ by orders of magnitude.  With a constant-liar
+        strategy active the batch is picked sequentially — score, pick
+        the best (ties to the lower mean, matching ``rank``), impute the
+        pick with a lie, re-score — exactly the ``_liar_batch`` protocol
+        with the acquisition in place of the plain argmin; with
+        ``liar == "none"`` one static scoring pass picks up to one
+        candidate per shape.  Thompson draws come from ``acq_rng``, the
+        dedicated stream, never from ``context.rng``.
+        """
+        score = get_acquisition(search.acquisition)
+        order: list[int] = []
+        if search.liar == "none":
+            predicted, spread = predictor.predict_batch_with_std(
+                untuned, trials=context.engine.tuner_trials)
+            gain = np.array([baselines[shape] for shape, _ in untuned])
+            mean = predicted / gain
+            scores = score(mean, spread / gain, best=best_ratio,
+                           kappa=DEFAULT_KAPPA, rng=acq_rng)
+            shapes_this_round: set[ConvolutionShape] = set()
+            for index in ranking(scores, mean):
+                shape = untuned[index][0]
+                if shape in shapes_this_round:
+                    continue
+                shapes_this_round.add(shape)
+                order.append(index)
+                if len(order) >= remaining:
+                    break
+            return order
+        shapes_picked: set[ConvolutionShape] = set()
+        candidates = list(range(len(untuned)))
+        try:
+            while candidates and len(order) < remaining:
+                predicted, spread = predictor.predict_batch_with_std(
+                    [untuned[index] for index in candidates],
+                    trials=context.engine.tuner_trials)
+                gain = np.array([baselines[untuned[index][0]]
+                                 for index in candidates])
+                mean = predicted / gain
+                scores = score(mean, spread / gain, best=best_ratio,
+                               kappa=DEFAULT_KAPPA, rng=acq_rng)
+                pick = candidates[argbest(scores, mean)]
                 shape, program = untuned[pick]
                 order.append(pick)
                 shapes_picked.add(shape)
@@ -824,10 +915,14 @@ class UnifiedSearch:
                  engine: EvaluationEngine | None = None,
                  observer: Observer | None = None,
                  predictor: LatencyPredictor | None = None,
-                 liar: str = "cl_mean"):
+                 liar: str = "cl_mean", learner: str = "ridge",
+                 acquisition: str = "rank", encoding: str = "flat"):
         if configurations < 1:
             raise SearchError("the search needs at least one configuration")
         get_strategy(strategy)  # fail fast on unknown names
+        get_learner(learner)
+        get_acquisition(acquisition)
+        get_encoding(encoding)
         if liar not in ("none",) + LIAR_STRATEGIES:
             raise SearchError(
                 f"unknown liar strategy '{liar}'; expected one of "
@@ -858,11 +953,20 @@ class UnifiedSearch:
         # Pending-point imputation rule for model_guided's batch-concurrent
         # rounds ("none" restores the static one-pass ranking).
         self.liar = liar
+        # The surrogate portfolio knobs of model_guided: which learner the
+        # predictor trains, which acquisition scores candidates ("rank"
+        # restores the historical rank-by-predicted-speedup bit-identically)
+        # and which candidate encoding featurizes them.
+        self.learner = learner
+        self.acquisition = acquisition
+        self.encoding = encoding
 
     def _predictor(self) -> LatencyPredictor:
         """The search's latency surrogate (created on first use)."""
         if self.predictor is None:
-            self.predictor = LatencyPredictor(seed=self.seed)
+            self.predictor = LatencyPredictor(seed=self.seed,
+                                              learner=self.learner,
+                                              encoding=self.encoding)
         return self.predictor
 
     # ------------------------------------------------------------------

@@ -94,7 +94,9 @@ class PredictorAnalysisResult:
 
 def run(scale: str | ExperimentScale = "ci", seed: int = 0,
         network: str = "ResNet-34", platform: str = "cpu",
-        strategies: tuple[str, ...] = DEFAULT_STRATEGIES
+        strategies: tuple[str, ...] = DEFAULT_STRATEGIES,
+        learner: str = "ridge", acquisition: str = "rank",
+        encoding: str = "flat", transfer_from: str = ""
         ) -> PredictorAnalysisResult:
     scale = get_scale(scale)
     builder = cifar_model_builders(scale)[network]
@@ -102,15 +104,40 @@ def run(scale: str | ExperimentScale = "ci", seed: int = 0,
     plat = get_platform(platform)
     images, labels = dataset.random_minibatch(scale.pipeline.fisher_batch,
                                               seed=seed)
+    # Cross-platform transfer (the paper's "one network, many targets"
+    # study): train a surrogate on transfer_from's platform first, then
+    # warm-start model_guided's predictor from it — the cold-start
+    # tunings it skips surface as evaluations_saved in the table.
+    warm = None
+    if transfer_from:
+        source = get_platform(transfer_from)
+        source_engine = evaluation_engine(source, scale, seed=seed)
+        source_search = UnifiedSearch(
+            source, configurations=scale.pipeline.configurations,
+            strategy="model_guided", space=UnifiedSpaceConfig(seed=seed),
+            seed=seed, engine=source_engine, learner=learner,
+            acquisition=acquisition, encoding=encoding)
+        source_search.search(builder(), images, labels,
+                             dataset.spec.image_shape)
+        warm = source_search.predictor
     result = PredictorAnalysisResult(network=network, platform=plat.name)
     for strategy in strategies:
         # A fresh engine per strategy: the point is the per-strategy
         # evaluation bill, so no strategy may ride another's cache.
         engine = evaluation_engine(plat, scale, seed=seed)
+        predictor = None
+        if warm is not None and strategy == "model_guided":
+            from repro.core.predictor import LatencyPredictor
+
+            predictor = LatencyPredictor(seed=seed, learner=learner,
+                                         encoding=encoding)
+            predictor.warm_start_from(warm)
         search = UnifiedSearch(plat, configurations=scale.pipeline.configurations,
                                strategy=strategy,
                                space=UnifiedSpaceConfig(seed=seed), seed=seed,
-                               engine=engine)
+                               engine=engine, learner=learner,
+                               acquisition=acquisition, encoding=encoding,
+                               predictor=predictor)
         outcome = search.search(builder(), images, labels,
                                 dataset.spec.image_shape)
         statistics = outcome.statistics
@@ -196,7 +223,8 @@ register_experiment(ExperimentSpec(
     description=__doc__.strip().splitlines()[0],
     run=run, report=format_report, payload=to_payload,
     primary=primary_optimization,
-    options=("network", "platform", "strategies"),
+    options=("network", "platform", "strategies", "learner", "acquisition",
+             "encoding", "transfer_from"),
 ))
 
 

@@ -208,7 +208,11 @@ class Client:
                 raise ServiceError(
                     f"job {job_id} finished {state}"
                     + (f": {record.get('error')}" if record.get("error") else ""))
-            if deadline is not None and time.monotonic() > deadline:
-                raise ServiceError(f"job {job_id} still {state} after "
-                                   f"{timeout:.0f}s")
-            time.sleep(poll_seconds)
+            pause = poll_seconds
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceError(f"job {job_id} still {state} after "
+                                       f"{timeout:.0f}s")
+                pause = min(pause, remaining)
+            time.sleep(pause)

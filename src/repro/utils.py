@@ -3,12 +3,47 @@
 from __future__ import annotations
 
 import math
+import time
 from functools import lru_cache
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
 _DEFAULT_SEED = 0x5EED
+
+
+def wait_until(predicate: Callable[[], object], *, timeout: float,
+               interval: float = 0.02, description: str = "condition"):
+    """Poll ``predicate`` until it returns a truthy value; deadline-based.
+
+    The one wait primitive for everything that watches an asynchronous
+    process (service tests, smoke tools, clients): a monotonic deadline
+    with a capped exponential backoff, so slow CI runners get the full
+    ``timeout`` rather than a fixed number of fixed-length sleeps, and
+    fast paths return on the first cheap poll.  Returns the predicate's
+    truthy value; raises :class:`TimeoutError` naming ``description``
+    when the deadline passes.
+
+    Example::
+
+        record = wait_until(lambda: endpoint.exists() or None,
+                            timeout=30.0, description="service endpoint")
+    """
+    if timeout <= 0:
+        raise ValueError(f"wait_until() needs a positive timeout, "
+                         f"got {timeout}")
+    deadline = time.monotonic() + timeout
+    pause = max(min(interval, 0.5), 1e-4)
+    while True:
+        value = predicate()
+        if value:
+            return value
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError(f"timed out after {timeout:.1f}s waiting "
+                               f"for {description}")
+        time.sleep(min(pause, remaining))
+        pause = min(pause * 1.5, 0.5)
 
 
 def make_rng(seed: int | None = None) -> np.random.Generator:

@@ -21,6 +21,42 @@ def run_cli(capsys, *argv: str) -> str:
     return captured.out
 
 
+def assert_schema(row: dict, schema: dict, *, context: str) -> None:
+    """Exact keys and value types: the machine-readable CLI contract.
+
+    Scripts parse these payloads, so a key renamed, dropped, or retyped
+    is a breaking change — the schema pins all three failure modes.
+    """
+    assert set(row) == set(schema), (
+        f"{context}: keys {sorted(row)} != contract {sorted(schema)}")
+    for key, types in schema.items():
+        assert isinstance(row[key], types), (
+            f"{context}: {key}={row[key]!r} is {type(row[key]).__name__}, "
+            f"contract says {types}")
+
+
+#: ``repro cache info --json``: one row per shard (ShardInfo.to_dict).
+CACHE_STORE_ROW_SCHEMA = {
+    "platform": str, "path": str, "bytes": int, "entries": int,
+    "records": int, "dead_records": int, "format_version": int,
+    "error": (str, type(None)),
+}
+
+#: ``repro cache info --json``: the process-local compile trie block.
+COMPILE_CACHE_SCHEMA = {
+    "entries": int, "max_entries": int, "enabled": bool,
+    "compile_hits": int, "compile_misses": int, "prefix_hits": int,
+    "prefix_depth_saved": int, "steps_replayed": int, "evictions": int,
+    "invalidations": int,
+}
+
+#: ``repro jobs --json``: one row per submitted job.
+JOBS_ROW_SCHEMA = {
+    "job_id": str, "state": str, "attempts": int,
+    "model": (str, type(None)), "platform": (str, type(None)),
+}
+
+
 class TestExperiments:
     def test_lists_all_eleven(self, capsys):
         out = run_cli(capsys, "experiments")
@@ -157,6 +193,19 @@ class TestCache:
         assert (tmp_path / "notes.txt").exists()
         assert "no engine cache stores" in run_cli(
             capsys, "cache", "info", "--cache-dir", str(tmp_path))
+
+    def test_info_json_schema(self, capsys, tmp_path):
+        run_cli(capsys, "tune", "--shape", "8x8x6x6x3x3", "--trials", "2",
+                "--cache-dir", str(tmp_path))
+        payload = json.loads(run_cli(capsys, "cache", "info",
+                                     "--cache-dir", str(tmp_path), "--json"))
+        assert set(payload) == {"stores", "legacy_pickles", "compile_cache"}
+        assert isinstance(payload["stores"], list) and payload["stores"]
+        for row in payload["stores"]:
+            assert_schema(row, CACHE_STORE_ROW_SCHEMA, context="stores row")
+        assert isinstance(payload["legacy_pickles"], list)
+        assert_schema(payload["compile_cache"], COMPILE_CACHE_SCHEMA,
+                      context="compile_cache")
 
     def test_empty_dir(self, capsys, tmp_path):
         assert "no engine cache stores" in run_cli(
@@ -299,6 +348,20 @@ class TestServiceSubcommands:
         assert events[0]["kind"] == "job_started"
         assert events[-1]["kind"] == "stream_end"
         assert events[-1]["data"]["state"] == "done"
+
+    def test_jobs_json_schema(self, capsys, daemon):
+        assert json.loads(run_cli(capsys, "jobs", "--state-dir", daemon,
+                                  "--json")) == []
+        out = run_cli(capsys, "submit", "--state-dir", daemon,
+                      "--model", "resnet18", "--wait", *TINY_OPTIMIZE)
+        assert "speedup" in out
+        rows = json.loads(run_cli(capsys, "jobs", "--state-dir", daemon,
+                                  "--json"))
+        assert len(rows) == 1
+        for row in rows:
+            assert_schema(row, JOBS_ROW_SCHEMA, context="jobs row")
+        assert rows[0]["state"] == "done"
+        assert rows[0]["model"] == "resnet18"
 
     def test_cancel_and_unknown_job(self, capsys, daemon):
         assert main(["cancel", "--state-dir", daemon, "job-000042"]) == 13

@@ -4,19 +4,22 @@ predictor-guided / multi-fidelity search strategies."""
 from __future__ import annotations
 
 import dataclasses
+import os
 
 import numpy as np
 import pytest
 
 from repro import nn
+from repro.core.acquisition import ACQUISITIONS
 from repro.core.encoding import (
+    ENCODINGS,
     FEATURE_NAMES,
     encode_batch,
     encode_candidate,
     feature_dict,
 )
 from repro.core.engine import EvaluationEngine
-from repro.core.predictor import LatencyPredictor
+from repro.core.predictor import LEARNERS, LatencyPredictor
 from repro.core.search import UnifiedSearch
 from repro.core.sequences import paper_sequences, predefined_program
 from repro.core.unified_space import UnifiedSpaceConfig
@@ -213,6 +216,114 @@ class TestModelGuidedDeterminism:
         assert first.optimized_latency_seconds == second.optimized_latency_seconds
         assert {n: c.sequence for n, c in first.choices.items()} == \
             {n: c.sequence for n, c in second.choices.items()}
+
+
+#: The full learner × acquisition × encoding matrix is the CI
+#: ``predictor-matrix`` job's territory (REPRO_PREDICTOR_MATRIX=1);
+#: the default tier-1 run keeps a covering subset — every learner, every
+#: acquisition and every encoding appears at least once.
+FULL_MATRIX = bool(os.environ.get("REPRO_PREDICTOR_MATRIX"))
+PORTFOLIO_COMBOS = ([(learner, acquisition, encoding)
+                     for learner in LEARNERS
+                     for acquisition in ACQUISITIONS
+                     for encoding in ENCODINGS]
+                    if FULL_MATRIX else
+                    [("ridge", "ei", "flat"),
+                     ("ridge", "pi", "flat"),
+                     ("ridge", "lcb", "flat"),
+                     ("ridge", "thompson", "flat"),
+                     ("ridge", "rank", "path"),
+                     ("random_forest", "ei", "flat"),
+                     ("gbrt", "lcb", "flat"),
+                     ("gp", "thompson", "path")])
+CHECKPOINT_COMBOS = (PORTFOLIO_COMBOS if FULL_MATRIX else
+                     [("random_forest", "ei", "flat"),
+                      ("gp", "lcb", "path")])
+
+
+class TestPortfolioDeterminismMatrix:
+    """Same seed ⇒ identical trajectory for every (learner, acquisition,
+    encoding) — across engine modes and through checkpoint/resume."""
+
+    @staticmethod
+    def _run(learner: str, acquisition: str, encoding: str, parallel: str):
+        dataset = SyntheticImageDataset.cifar10_like(
+            train_size=32, test_size=16, image_size=8, seed=0)
+        images, labels = dataset.random_minibatch(4, seed=0)
+        with EvaluationEngine(get_platform("cpu"), tuner_trials=3, seed=0,
+                              parallel=parallel, max_workers=2) as engine:
+            search = UnifiedSearch(get_platform("cpu"), configurations=16,
+                                   strategy="model_guided",
+                                   space=UnifiedSpaceConfig(seed=0), seed=0,
+                                   engine=engine, learner=learner,
+                                   acquisition=acquisition, encoding=encoding)
+            result = search.search(_small_model(), images, labels,
+                                   dataset.spec.image_shape)
+            return result, tuple(sorted(map(repr, engine.cache_keys())))
+
+    @staticmethod
+    def _fingerprint(result) -> dict:
+        statistics = dataclasses.asdict(result.statistics)
+        for volatile in ("search_seconds", "compile_hits", "compile_misses",
+                         "prefix_depth_saved"):
+            statistics.pop(volatile)
+        return {"latency": result.optimized_latency_seconds,
+                "choices": {name: (choice.sequence, choice.latency_seconds,
+                                   choice.fisher_score)
+                            for name, choice in result.choices.items()},
+                "statistics": statistics}
+
+    @pytest.mark.parametrize("learner,acquisition,encoding",
+                             PORTFOLIO_COMBOS)
+    def test_trajectory_identical_across_engine_modes(self, learner,
+                                                      acquisition, encoding):
+        reference, reference_keys = self._run(learner, acquisition,
+                                              encoding, "serial")
+        modes = ("serial", "thread", "process") if FULL_MATRIX \
+            else ("serial", "thread")
+        for parallel in modes:
+            result, keys = self._run(learner, acquisition, encoding, parallel)
+            assert keys == reference_keys, f"{parallel} tuned different keys"
+            assert self._fingerprint(result) == self._fingerprint(reference), \
+                f"{parallel} diverged for {learner}/{acquisition}/{encoding}"
+
+    @pytest.mark.parametrize("learner,acquisition,encoding",
+                             CHECKPOINT_COMBOS)
+    def test_checkpoint_resume_bit_identical(self, learner, acquisition,
+                                             encoding, tmp_path):
+        import repro
+        from repro.core.checkpoint import read_checkpoint
+
+        from test_faults import stripped
+
+        class AbortAfter:
+            def __init__(self, batches: int):
+                self.remaining = batches
+
+            def __call__(self, event) -> None:
+                if event.kind == "tune_batch":
+                    self.remaining -= 1
+                    if self.remaining <= 0:
+                        raise KeyboardInterrupt("simulated kill")
+
+        kwargs = dict(model="resnet18", platform="cpu",
+                      strategy="model_guided", budget=10, trials=2, seed=3,
+                      image_size=8, fisher_batch=2, learner=learner,
+                      acquisition=acquisition, encoding=encoding)
+        golden = repro.optimize(**kwargs)
+        path = tmp_path / f"{learner}-{acquisition}-{encoding}.ckpt.json"
+        with pytest.raises(KeyboardInterrupt):
+            repro.optimize(**kwargs, checkpoint=path,
+                           observer=AbortAfter(2))
+        checkpoint = read_checkpoint(path)
+        assert not checkpoint.completed
+        # The portfolio selection survives the checkpoint round trip ...
+        assert checkpoint.request_document["learner"] == learner
+        assert checkpoint.request_document["acquisition"] == acquisition
+        assert checkpoint.request_document["encoding"] == encoding
+        # ... and the resumed run continues to the uninterrupted result.
+        resumed = repro.resume_checkpoint(path)
+        assert stripped(resumed) == stripped(golden)
 
 
 class TestStrategyBehaviour:

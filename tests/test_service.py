@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import json
 import threading
-import time
 
 import pytest
 
@@ -21,6 +20,7 @@ from repro.core.events import Observable
 from repro.errors import ReproError, ServiceError
 from repro.service import Client, JobStore, OptimizationService
 from repro.service import protocol
+from repro.utils import wait_until
 
 #: Small enough for CI, big enough that a search spans several batches.
 TINY = dict(model="resnet18", strategy="greedy", configurations=6,
@@ -217,13 +217,11 @@ class TestStopResume:
         job_id = client.submit(request)
         # Let the job pay for some tunings, then stop the daemon under it.
         events_path = service.events_path(job_id)
-        deadline = time.monotonic() + 120
-        while time.monotonic() < deadline:
-            if (events_path.exists()
-                    and "tune_batch" in events_path.read_text()):
-                break
-            time.sleep(0.02)
-        else:
+        try:
+            wait_until(lambda: events_path.exists()
+                       and "tune_batch" in events_path.read_text(),
+                       timeout=120, description="the job's first tune_batch")
+        except TimeoutError:
             pytest.fail("the job never started tuning")
         service.stop()
 

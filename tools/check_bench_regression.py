@@ -10,11 +10,13 @@ pin fails the build.
 
 Usage::
 
-    python tools/check_bench_regression.py [records_dir]
+    python tools/check_bench_regression.py [records_dir] [benchmark ...]
 
 ``records_dir`` defaults to ``$REPRO_BENCH_RECORDS`` or the working
 directory.  Exits 1 on regression or on a pinned benchmark with no
-record (a silently skipped benchmark must not pass the gate).
+record (a silently skipped benchmark must not pass the gate).  Naming
+benchmarks restricts the gate to those pins — for CI jobs that run a
+subset of the suite — and naming one with no pin is an error.
 """
 
 from __future__ import annotations
@@ -36,6 +38,14 @@ def main(argv: list[str]) -> int:
                        else os.environ.get("REPRO_BENCH_RECORDS", "."))
     baseline = {name: pins for name, pins in json.loads(BASELINE.read_text()).items()
                 if not name.startswith("_")}
+    selected = argv[2:]
+    if selected:
+        unknown = sorted(set(selected) - set(baseline))
+        if unknown:
+            print(f"FAIL  no pin in {BASELINE.name} for: {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 1
+        baseline = {name: baseline[name] for name in selected}
     failures = []
     for name, pins in sorted(baseline.items()):
         record_path = records_dir / f"BENCH_{name}.json"

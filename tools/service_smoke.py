@@ -25,8 +25,9 @@ import signal
 import subprocess
 import sys
 import tempfile
-import time
 from pathlib import Path
+
+from repro.utils import wait_until
 
 #: result-document keys that vary with wall clock or cache warmth, never
 #: with the search's decisions (mirrors tools/kill_resume_smoke.py)
@@ -73,9 +74,9 @@ def _stripped(document: dict) -> dict:
 
 def _serve(state: Path) -> subprocess.Popen:
     daemon = _repro("serve", "--state-dir", str(state), "--workers", "2")
-    deadline = time.monotonic() + DEADLINE_SECONDS
     endpoint = state / "service.json"
-    while time.monotonic() < deadline:
+
+    def advertised() -> bool:
         # A SIGKILLed daemon leaves its stale endpoint file behind, so
         # wait for the one advertising *this* daemon's pid.
         if endpoint.exists():
@@ -84,14 +85,20 @@ def _serve(state: Path) -> subprocess.Popen:
             except json.JSONDecodeError:
                 record = {}
             if record.get("pid") == daemon.pid:
-                return daemon
+                return True
         if daemon.poll() is not None:
             _, err = daemon.communicate()
             raise RuntimeError(f"daemon exited {daemon.returncode} before "
                                f"advertising an endpoint\n{err}")
-        time.sleep(0.05)
-    daemon.kill()
-    raise RuntimeError("daemon never advertised an endpoint")
+        return False
+
+    try:
+        wait_until(advertised, timeout=DEADLINE_SECONDS,
+                   description="the daemon's endpoint file")
+    except TimeoutError:
+        daemon.kill()
+        raise RuntimeError("daemon never advertised an endpoint") from None
+    return daemon
 
 
 def _job_mid_flight(state: Path) -> str | None:
@@ -121,14 +128,11 @@ def main(argv: list[str]) -> int:
                for job in JOBS]
     print(f"submitted {job_ids}", flush=True)
 
-    deadline = time.monotonic() + DEADLINE_SECONDS
-    victim = None
-    while time.monotonic() < deadline:
-        victim = _job_mid_flight(state)
-        if victim:
-            break
-        time.sleep(0.02)
-    else:
+    try:
+        victim = wait_until(lambda: _job_mid_flight(state),
+                            timeout=DEADLINE_SECONDS,
+                            description="a job mid-tuning")
+    except TimeoutError:
         daemon.kill()
         print("FAIL: no job started tuning before the deadline")
         return 1
@@ -148,19 +152,23 @@ def main(argv: list[str]) -> int:
     try:
         results = []
         for job_id in job_ids:
-            deadline = time.monotonic() + DEADLINE_SECONDS
-            while time.monotonic() < deadline:
+            def finished(job_id=job_id):
                 record = json.loads(_run("status", "--state-dir", str(state),
                                          job_id, "--json"))
-                if record["state"] == "done":
-                    break
                 if record["state"] in ("failed", "cancelled"):
-                    print(f"FAIL: {job_id} finished {record['state']}: "
-                          f"{record.get('error')}")
-                    return 1
-                time.sleep(0.2)
-            else:
+                    raise RuntimeError(
+                        f"{job_id} finished {record['state']}: "
+                        f"{record.get('error')}")
+                return record["state"] == "done"
+
+            try:
+                wait_until(finished, timeout=DEADLINE_SECONDS, interval=0.2,
+                           description=f"{job_id} to finish")
+            except TimeoutError:
                 print(f"FAIL: {job_id} never finished after the restart")
+                return 1
+            except RuntimeError as error:
+                print(f"FAIL: {error}")
                 return 1
             document = json.loads(_run("result", "--state-dir", str(state),
                                        job_id, "--json"))
